@@ -1,0 +1,33 @@
+"""Figure 11: discarded changes under rollback vs purging mode.
+
+Expected shape (paper): rollback discards several times more data than
+purge (16.9% vs 3.6% average) because it reverts every update newer than
+the chosen point, related or not.
+"""
+
+from conftest import FAULTS, emit, matrix_cell
+
+from repro.harness.metrics import mean
+from repro.harness.report import render_grouped_bars
+
+
+def test_fig11_rollback_vs_purge(benchmark, matrix):
+    benchmark.pedantic(lambda: matrix_cell("f11", "arthas"), rounds=1, iterations=1)
+    series = {"Purge": {}, "Rollback": {}}
+    for fid in FAULTS:
+        pg = matrix_cell(fid, "arthas").mitigation
+        rb = matrix_cell(fid, "arthas-rb").mitigation
+        if pg is not None and pg.recovered:
+            series["Purge"][fid] = pg.discarded_pct
+        if rb is not None and rb.recovered:
+            series["Rollback"][fid] = rb.discarded_pct
+    emit(render_grouped_bars(
+        "Figure 11: discarded changes with rollback and purging modes",
+        FAULTS,
+        series,
+        unit="%",
+    ))
+    avg_pg = mean(list(series["Purge"].values()))
+    avg_rb = mean(list(series["Rollback"].values()))
+    emit(f"average data loss: purge {avg_pg:.2f}%, rollback {avg_rb:.2f}%")
+    assert avg_rb > avg_pg, "rollback must discard more than purge"

@@ -1,0 +1,42 @@
+"""Table 4: is the recovered system semantically consistent?
+
+Expected shape (paper): the conservative rollback mode is consistent in
+every recovered case; the purge mode is consistent in most but can leave
+subtle semantic inconsistencies (2/12 cases in the paper); baselines are
+consistent whenever they recover at all (they restore full images).
+"""
+
+from conftest import FAULTS, emit, matrix_cell
+
+from repro.harness.report import render_table
+
+
+def _cell(fid, solution):
+    result = matrix_cell(fid, solution)
+    m = result.mitigation
+    if m is None or not m.recovered:
+        return "n/a"
+    return "Y" if m.consistent else "N"
+
+
+def test_table4_consistency(benchmark, matrix):
+    benchmark.pedantic(lambda: matrix_cell("f11", "arthas"), rounds=1, iterations=1)
+    rows = []
+    for solution, label in (
+        ("pmcriu", "pmCRIU"),
+        ("arckpt", "ArCkpt"),
+        ("arthas", "Arthas (pg)"),
+        ("arthas-rb", "Arthas (rb)"),
+    ):
+        rows.append([label] + [_cell(fid, solution) for fid in FAULTS])
+    emit(render_table(
+        "Table 4: semantic consistency of the recovered system",
+        ["solution"] + FAULTS,
+        rows,
+        note="n/a = not recovered (consistency not applicable)",
+    ))
+    rb_row = rows[3][1:]
+    assert all(c in ("Y", "n/a") for c in rb_row), "rollback mode is conservative"
+    pg_row = rows[2][1:]
+    inconsistent = sum(1 for c in pg_row if c == "N")
+    assert inconsistent <= 3, "purge inconsistencies must stay rare"

@@ -1,0 +1,54 @@
+"""Table 5: number of rollback attempts during mitigation.
+
+Expected shape (paper): pmCRIU needs few attempts (coarse snapshots);
+Arthas needs more (median ~8, fine-grained one-at-a-time reversions);
+ArCkpt either recovers in a couple of attempts (immediate crashes) or
+times out.
+"""
+
+from conftest import FAULTS, emit, matrix_cell
+
+from repro.harness.metrics import median
+from repro.harness.report import render_table
+
+
+def test_table5_attempts(benchmark, matrix):
+    benchmark.pedantic(lambda: matrix_cell("f11", "arthas"), rounds=1, iterations=1)
+    rows = []
+    per_solution = {}
+    for solution, label in (
+        ("pmcriu", "pmCRIU"),
+        ("arckpt", "ArCkpt"),
+        ("arthas", "Arthas"),
+    ):
+        cells = []
+        recovered_attempts = []
+        for fid in FAULTS:
+            m = matrix_cell(fid, solution).mitigation
+            if m is None:
+                cells.append("n/a")
+            elif m.recovered:
+                cells.append(str(m.attempts))
+                recovered_attempts.append(m.attempts)
+            else:
+                cells.append("T")  # timed out, like the paper's 'T'
+        rows.append([label] + cells)
+        per_solution[label] = recovered_attempts
+    emit(render_table(
+        "Table 5: attempts of rollback during mitigation",
+        ["solution"] + FAULTS,
+        rows,
+        note="T = timed out before recovering",
+    ))
+    emit(f"median attempts (recovered cases): "
+         f"Arthas {median(per_solution['Arthas'])}, "
+         f"pmCRIU {median(per_solution['pmCRIU'])}")
+    # pmCRIU's snapshot count bounds its attempts to a handful; Arthas is
+    # multi-attempt but recovers every case.  (Our Arthas medians run
+    # *below* the paper's 8 — the distance-ordered candidate policy finds
+    # the root cause faster than their default ordering; see
+    # EXPERIMENTS.md.)
+    assert median(per_solution["pmCRIU"]) <= 5
+    assert len(per_solution["Arthas"]) == len(FAULTS)
+    arckpt_cells = rows[1][1:]
+    assert "T" in arckpt_cells, "ArCkpt should time out on the deep faults"

@@ -1,0 +1,63 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation.  The expensive part — the 12-fault x 4-solution experiment
+matrix — is computed once per pytest session and shared; every bench
+prints its rows (mirroring the paper's layout) and also appends them to
+``results/evaluation.txt`` so the output survives pytest's capturing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Tuple
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))  # noqa: E402
+
+from repro.harness.experiment import ExperimentResult, run_experiment
+
+FAULTS = [f"f{i}" for i in range(1, 13)]
+SOLUTIONS = ("arthas", "arthas-rb", "pmcriu", "arckpt")
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+_matrix_cache: Dict[Tuple[str, str, int], ExperimentResult] = {}
+
+
+def matrix_cell(fid: str, solution: str, seed: int = 0) -> ExperimentResult:
+    """One experiment cell, memoised for the whole session."""
+    key = (fid, solution, seed)
+    if key not in _matrix_cache:
+        _matrix_cache[key] = run_experiment(fid, solution, seed=seed)
+    return _matrix_cache[key]
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """The full 12x4 matrix at seed 0 (computed lazily, cached)."""
+    return {
+        (fid, sol): matrix_cell(fid, sol)
+        for fid in FAULTS
+        for sol in SOLUTIONS
+    }
+
+
+def emit(text: str) -> None:
+    """Print a rendered table/figure and persist it to results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "evaluation.txt"), "a") as f:
+        f.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "evaluation.txt")
+    with open(path, "w") as f:
+        f.write("Arthas reproduction - evaluation output\n\n")
+    yield

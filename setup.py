@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail; ``pip install -e . --no-build-isolation``
+falls back to this file via ``--no-use-pep517`` or ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro: a Python reproduction of Arthas (EuroSys '21).
+
+"Understanding and Dealing with Hard Faults in Persistent Memory
+Systems" — Brian Choi, Randal Burns, Peng Huang.
+
+Top-level surface:
+
+* :mod:`repro.pmem` — simulated persistent memory (pool, allocator,
+  transactions, snapshots, pool checking).
+* :mod:`repro.lang` — PMLang: compiler, register IR, interpreter.
+* :mod:`repro.analysis` — points-to, PM classification, PDG, static and
+  dynamic slicing.
+* :mod:`repro.instrument` / :mod:`repro.checkpoint` — trace GUIDs and the
+  versioned checkpoint log.
+* :mod:`repro.detector` / :mod:`repro.reactor` — failure detection and
+  the reversion engine (purge, rollback, bisect, leak diff).
+* :mod:`repro.baselines` — pmCRIU and ArCkpt.
+* :mod:`repro.systems` — the five PM target systems in PMLang.
+* :mod:`repro.faults` — the 12 reproduced hard faults + the 28-bug study.
+* :mod:`repro.harness` — the end-to-end experiment runner.
+* :mod:`repro.distributed` — the Section 7 distributed-recovery sketch.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

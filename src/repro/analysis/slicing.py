@@ -1,0 +1,85 @@
+"""Program slicing over the PDG (Weiser-style backward slices).
+
+The reactor slices the fault instruction and keeps only nodes with
+persistent-memory operands (paper Section 4.5); the slice is then joined
+against the runtime PM-address trace to find checkpoint entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.analysis.pdg import PDG
+from repro.analysis.pmvars import PMClassification
+
+
+def backward_slice(
+    pdg: PDG, iid: int, max_nodes: Optional[int] = None
+) -> Set[int]:
+    """All instructions that may affect ``iid`` (including itself).
+
+    ``max_nodes`` implements the paper's analysis timeout: when the slice
+    grows past the limit, exploration stops and the partial (still useful,
+    possibly incomplete) slice is returned.
+    """
+    seen: Set[int] = {iid}
+    stack = [iid]
+    while stack:
+        node = stack.pop()
+        for dep, _kind in pdg.dependencies_of(node):
+            if dep not in seen:
+                seen.add(dep)
+                stack.append(dep)
+                if max_nodes is not None and len(seen) >= max_nodes:
+                    return seen
+    return seen
+
+
+def forward_slice(
+    pdg: PDG, iid: int, max_nodes: Optional[int] = None
+) -> Set[int]:
+    """All instructions ``iid`` may affect (purge-mode second pass)."""
+    seen: Set[int] = {iid}
+    stack = [iid]
+    while stack:
+        node = stack.pop()
+        for dep, _kind in pdg.dependents_of(node):
+            if dep not in seen:
+                seen.add(dep)
+                stack.append(dep)
+                if max_nodes is not None and len(seen) >= max_nodes:
+                    return seen
+    return seen
+
+
+def pm_slice(
+    pdg: PDG,
+    pm: PMClassification,
+    iid: int,
+    max_nodes: Optional[int] = None,
+) -> Set[int]:
+    """Backward slice filtered to PM instructions."""
+    return {
+        node
+        for node in backward_slice(pdg, iid, max_nodes)
+        if pm.is_pm_instr(node)
+    }
+
+
+def slice_distances(pdg: PDG, iid: int) -> Dict[int, int]:
+    """BFS distance of every slice node from the fault instruction.
+
+    Supports the paper's "complex policy function" that orders candidate
+    sequence numbers by slice distance and caps the maximum distance.
+    """
+    dist: Dict[int, int] = {iid: 0}
+    frontier = [iid]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for dep, _kind in pdg.dependencies_of(node):
+                if dep not in dist:
+                    dist[dep] = dist[node] + 1
+                    nxt.append(dep)
+        frontier = nxt
+    return dist

@@ -1,0 +1,74 @@
+"""ArCkpt: fine-grained checkpointing without the analyzer.
+
+Keeps Arthas's checkpoint log but disables slicing: entries are reverted
+one at a time in strict reverse sequence order, re-executing after each.
+The paper positions this as a facet of Arthas: it recovers only the bugs
+whose bad persistent update is (nearly) the most recent one and times out
+otherwise, because walking back through thousands of unrelated updates
+one re-execution at a time exhausts the mitigation budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.checkpoint.log import CheckpointLog
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PMPool
+from repro.reactor.revert import MitigationResult, ReexecFn, Reverter, _NullClock
+
+
+class ArCkpt:
+    """Time-ordered, one-entry-at-a-time reversion."""
+
+    def __init__(
+        self,
+        log: CheckpointLog,
+        pool: PMPool,
+        allocator: PMAllocator,
+    ):
+        self.log = log
+        self.pool = pool
+        self.allocator = allocator
+
+    def mitigate(
+        self,
+        reexec: ReexecFn,
+        clock=None,
+        reexec_delay: Callable[[], float] = lambda: 4.0,
+        max_attempts: int = 130,
+        timeout_seconds: float = 600.0,
+    ) -> MitigationResult:
+        """Revert update entries newest-first, re-executing after each."""
+        clock = clock if clock is not None else _NullClock()
+        reverter = Reverter(
+            self.log,
+            self.pool,
+            self.allocator,
+            reexec=reexec,
+            clock=clock,
+            reexec_delay=reexec_delay,
+            max_attempts=max_attempts,
+            timeout_seconds=timeout_seconds,
+        )
+        result = MitigationResult(recovered=False, mode="arckpt")
+        update_seqs = sorted(
+            (ev.seq for ev in self.log.events if ev.kind == "update"),
+            reverse=True,
+        )
+        for seq in update_seqs:
+            if result.attempts >= max_attempts or clock.now > timeout_seconds:
+                result.timed_out = True
+                break
+            for s in reverter.tx_closure(seq):
+                if reverter.revert_update_seq(s, 1):
+                    result.reverted_seqs.append(s)
+            clock.advance(reverter.revert_cost)
+            clock.advance(reexec_delay())
+            result.attempts += 1
+            outcome = reexec()
+            if outcome.ok:
+                result.recovered = True
+                break
+        result.duration_seconds = clock.now
+        return result

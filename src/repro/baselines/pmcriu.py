@@ -1,0 +1,98 @@
+"""pmCRIU: the coarse-grained checkpoint-rollback baseline.
+
+CRIU snapshots entire process state at fixed intervals; the paper enhances
+it to dump the PM pool too.  The reproduction keeps the parts that matter
+for PM hard faults: a periodic whole-pool snapshot, and mitigation by
+restoring snapshots newest-first, re-executing after each restore.
+
+Two shape-defining properties from the paper emerge naturally:
+
+* recovery succeeds iff some snapshot predates the bad persistent state —
+  bugs triggered before the first snapshot are only recoverable by
+  restoring the *empty initial pool* (which loses everything and is the
+  "probabilistic" success of f5/f8);
+* data loss is large, because restoring a point-in-time image throws away
+  every update after it, related to the fault or not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PMPool
+from repro.pmem.snapshot import PoolSnapshot, restore_snapshot, take_snapshot
+from repro.reactor.revert import MitigationResult, ReexecFn, _NullClock
+
+
+class PmCRIU:
+    """Periodic whole-pool snapshotting plus newest-first restore."""
+
+    def __init__(
+        self,
+        pool: PMPool,
+        allocator: PMAllocator,
+        interval_seconds: float = 60.0,
+        snapshot_cost: float = 0.35,
+    ):
+        self.pool = pool
+        self.allocator = allocator
+        self.interval_seconds = interval_seconds
+        self.snapshot_cost = snapshot_cost
+        self.snapshots: List[PoolSnapshot] = []
+        self._last_snapshot_at: Optional[float] = None
+        # the pristine image (empty pool) is always restorable
+        self._initial = take_snapshot(pool, allocator, taken_at=0.0, label="initial")
+
+    # ------------------------------------------------------------------
+    def maybe_snapshot(self, now: float) -> bool:
+        """Take a snapshot if the interval elapsed; returns True if taken."""
+        due = (
+            self._last_snapshot_at is None
+            or now - self._last_snapshot_at >= self.interval_seconds
+        )
+        if not due:
+            return False
+        self._last_snapshot_at = now
+        self.snapshots.append(
+            take_snapshot(
+                self.pool,
+                self.allocator,
+                taken_at=now,
+                label=f"ckpt{len(self.snapshots) + 1}",
+            )
+        )
+        return True
+
+    def snapshot_count(self) -> int:
+        return len(self.snapshots)
+
+    # ------------------------------------------------------------------
+    def mitigate(
+        self,
+        reexec: ReexecFn,
+        clock=None,
+        reexec_delay: Callable[[], float] = lambda: 4.0,
+        restore_cost: float = 1.5,
+        max_attempts: int = 20,
+        timeout_seconds: float = 600.0,
+    ) -> MitigationResult:
+        """Restore snapshots newest-first until re-execution succeeds."""
+        clock = clock if clock is not None else _NullClock()
+        result = MitigationResult(recovered=False, mode="pmcriu")
+        images = list(reversed(self.snapshots)) + [self._initial]
+        for snapshot in images:
+            if result.attempts >= max_attempts or clock.now > timeout_seconds:
+                result.timed_out = True
+                break
+            restore_snapshot(self.pool, snapshot, self.allocator)
+            clock.advance(restore_cost)
+            clock.advance(reexec_delay())
+            result.attempts += 1
+            result.notes = f"restored {snapshot.label}"
+            outcome = reexec()
+            if outcome.ok:
+                result.recovered = True
+                break
+        result.duration_seconds = clock.now
+        return result

@@ -1,0 +1,29 @@
+"""Fine-grained PM checkpointing with versioning (paper Section 4.2).
+
+* :mod:`repro.checkpoint.log` — the checkpoint log: one entry per PM
+  address range, each holding up to ``MAX_VERSIONS`` versions ordered by
+  an atomic sequence number, with transaction marks and realloc links
+  (the paper's Figure 5 layout).
+* :mod:`repro.checkpoint.manager` — hooks the pool's persist points,
+  transaction commits and allocator free/realloc so checkpointing happens
+  *eagerly at each durability point*, at exactly the granularity the
+  target program chose.
+"""
+
+from repro.checkpoint.log import (
+    MAX_VERSIONS,
+    CheckpointEntry,
+    CheckpointLog,
+    LogEvent,
+    Version,
+)
+from repro.checkpoint.manager import CheckpointManager
+
+__all__ = [
+    "MAX_VERSIONS",
+    "CheckpointLog",
+    "CheckpointEntry",
+    "LogEvent",
+    "Version",
+    "CheckpointManager",
+]

@@ -1,0 +1,226 @@
+"""The versioned checkpoint log (paper Figure 5).
+
+One :class:`CheckpointEntry` per persisted PM address range; each entry
+keeps the last ``MAX_VERSIONS`` versions of the range's data together
+with the atomic sequence number that orders all PM updates by logical
+time.  Transaction begin/commit marks and alloc/free events share the
+same sequence space so the reactor can group and order reversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError
+
+#: default maximum versions retained per entry (paper default: 3)
+MAX_VERSIONS = 3
+
+
+@dataclass
+class Version:
+    """One version of one address range."""
+
+    seq: int
+    data: Tuple[int, ...]
+    size: int
+    tx_id: int = 0
+
+
+@dataclass
+class LogEvent:
+    """One entry in the global, sequence-ordered event stream."""
+
+    seq: int
+    kind: str  # "update" | "alloc" | "free" | "tx-begin" | "tx-commit"
+    addr: int = 0
+    nwords: int = 0
+    tx_id: int = 0
+
+
+class CheckpointEntry:
+    """Versions of one PM address range, newest last."""
+
+    __slots__ = (
+        "address",
+        "versions",
+        "old_entry",
+        "new_entry",
+        "max_versions",
+        "total_versions",
+    )
+
+    def __init__(self, address: int, max_versions: int = MAX_VERSIONS):
+        self.address = address
+        self.versions: List[Version] = []
+        #: address of the pre-realloc incarnation of this object (or None)
+        self.old_entry: Optional[int] = None
+        #: address this object moved to on realloc (or None)
+        self.new_entry: Optional[int] = None
+        self.max_versions = max_versions
+        #: versions ever recorded; > len(versions) when history was evicted
+        self.total_versions = 0
+
+    def add_version(self, version: Version) -> None:
+        self.versions.append(version)
+        self.total_versions += 1
+        if len(self.versions) > self.max_versions:
+            self.versions.pop(0)
+
+    @property
+    def history_evicted(self) -> bool:
+        """True when versions older than the retained ring were dropped."""
+        return self.total_versions > len(self.versions)
+
+    def version_with_seq(self, seq: int) -> Optional[Version]:
+        """The retained version recorded at exactly ``seq``, if any."""
+        for v in self.versions:
+            if v.seq == seq:
+                return v
+        return None
+
+    def version_index(self, seq: int) -> Optional[int]:
+        """Index of the version with sequence number ``seq`` in the ring."""
+        for i, v in enumerate(self.versions):
+            if v.seq == seq:
+                return i
+        return None
+
+    def latest(self) -> Optional[Version]:
+        """The newest retained version (None for an empty entry)."""
+        return self.versions[-1] if self.versions else None
+
+    def latest_before(self, seq: int) -> Optional[Version]:
+        """Latest version strictly older than ``seq``."""
+        best: Optional[Version] = None
+        for v in self.versions:
+            if v.seq < seq and (best is None or v.seq > best.seq):
+                best = v
+        return best
+
+
+class CheckpointLog:
+    """All entries plus the sequence-ordered event stream."""
+
+    def __init__(self, max_versions: int = MAX_VERSIONS):
+        self.max_versions = max_versions
+        self.entries: Dict[int, CheckpointEntry] = {}
+        self.events: List[LogEvent] = []
+        self._next_seq = 1
+        #: update-event seqs grouped by transaction id
+        self.tx_members: Dict[int, List[int]] = {}
+        #: seq -> event, for O(1) reactor lookups
+        self._event_by_seq: Dict[int, LogEvent] = {}
+        # counters for the data-loss metrics
+        self.total_updates = 0
+
+    # ------------------------------------------------------------------
+    def _next(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _event(self, kind: str, addr: int = 0, nwords: int = 0, tx_id: int = 0) -> LogEvent:
+        ev = LogEvent(self._next(), kind, addr, nwords, tx_id)
+        self.events.append(ev)
+        self._event_by_seq[ev.seq] = ev
+        return ev
+
+    # ------------------------------------------------------------------
+    def record_update(
+        self, addr: int, nwords: int, values: List[int], tx_id: int = 0
+    ) -> int:
+        """Record one persisted range; returns its sequence number."""
+        if len(values) != nwords:
+            raise CheckpointError(
+                f"update at {addr:#x}: {len(values)} values for {nwords} words"
+            )
+        ev = self._event("update", addr, nwords, tx_id)
+        entry = self.entries.get(addr)
+        if entry is None:
+            entry = CheckpointEntry(addr, self.max_versions)
+            self.entries[addr] = entry
+        entry.add_version(Version(ev.seq, tuple(values), nwords, tx_id))
+        if tx_id:
+            self.tx_members.setdefault(tx_id, []).append(ev.seq)
+        self.total_updates += 1
+        return ev.seq
+
+    def record_alloc(self, addr: int, nwords: int) -> int:
+        """Record a PM allocation event; returns its sequence number."""
+        return self._event("alloc", addr, nwords).seq
+
+    def record_free(self, addr: int, nwords: int) -> int:
+        """Record a PM free event; returns its sequence number."""
+        return self._event("free", addr, nwords).seq
+
+    def record_tx_begin(self, tx_id: int) -> int:
+        """Insert a transaction-begin mark into the event stream."""
+        return self._event("tx-begin", tx_id=tx_id).seq
+
+    def record_tx_commit(self, tx_id: int) -> int:
+        """Insert a transaction-commit mark into the event stream."""
+        return self._event("tx-commit", tx_id=tx_id).seq
+
+    def link_realloc(self, old_addr: int, new_addr: int) -> None:
+        """Connect the two incarnations of a resized object."""
+        old = self.entries.get(old_addr)
+        if old is not None:
+            old.new_entry = new_addr
+        new = self.entries.setdefault(
+            new_addr, CheckpointEntry(new_addr, self.max_versions)
+        )
+        new.old_entry = old_addr
+
+    # ------------------------------------------------------------------
+    # queries used by the reactor
+    # ------------------------------------------------------------------
+    def event(self, seq: int) -> Optional[LogEvent]:
+        """The event recorded at ``seq`` (None if out of range)."""
+        return self._event_by_seq.get(seq)
+
+    def entries_overlapping(self, addr: int) -> List[CheckpointEntry]:
+        """Entries whose latest range covers ``addr``."""
+        out = []
+        for entry in self.entries.values():
+            latest = entry.latest()
+            if latest is None:
+                continue
+            if entry.address <= addr < entry.address + latest.size:
+                out.append(entry)
+        return out
+
+    def update_seqs_for_address(self, addr: int) -> List[int]:
+        """Sequence numbers of all retained versions covering ``addr``."""
+        seqs: List[int] = []
+        for entry in self.entries_overlapping(addr):
+            seqs.extend(v.seq for v in entry.versions)
+        return seqs
+
+    def seqs_in_tx(self, tx_id: int) -> List[int]:
+        """Update sequence numbers belonging to one transaction."""
+        return list(self.tx_members.get(tx_id, ()))
+
+    def tx_of_seq(self, seq: int) -> int:
+        """Transaction id of an update (0 when not transactional)."""
+        ev = self._event_by_seq.get(seq)
+        return ev.tx_id if ev else 0
+
+    def max_seq(self) -> int:
+        """The newest sequence number issued so far."""
+        return self._next_seq - 1
+
+    def events_after(self, seq: int) -> List[LogEvent]:
+        """All events with sequence number strictly greater than ``seq``."""
+        return [ev for ev in self.events if ev.seq > seq]
+
+    def live_unfreed_allocs(self) -> Dict[int, int]:
+        """Blocks with an alloc event and no later free (leak candidates)."""
+        live: Dict[int, int] = {}
+        for ev in self.events:
+            if ev.kind == "alloc":
+                live[ev.addr] = ev.nwords
+            elif ev.kind == "free":
+                live.pop(ev.addr, None)
+        return live

@@ -1,0 +1,96 @@
+"""Wires the checkpoint log into a running PM system (Section 4.2).
+
+The manager registers hooks on the pool, the transaction manager and the
+allocator, so that:
+
+* every explicitly persisted range becomes a checkpoint-log version
+  *after* it is durable (never prematurely — the paper's "respects the
+  program's persistence points"),
+* transaction commits bracket their member updates with begin/commit
+  marks, so the reactor can revert whole transactions,
+* frees and reallocs are recorded, enabling free-reversion and the
+  ``old_entry``/``new_entry`` linking.
+
+Checkpointing is transparent to the guest program: it costs pool-hook
+callbacks only, which is the runtime overhead Figure 12 measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.checkpoint.log import MAX_VERSIONS, CheckpointLog
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PMPool
+from repro.pmem.tx import TransactionManager
+
+
+class CheckpointManager:
+    """Attaches a :class:`CheckpointLog` to one pool's persistence points."""
+
+    def __init__(
+        self,
+        pool: PMPool,
+        allocator: PMAllocator,
+        txman: TransactionManager,
+        max_versions: int = MAX_VERSIONS,
+        log: Optional[CheckpointLog] = None,
+    ):
+        self.pool = pool
+        self.allocator = allocator
+        self.txman = txman
+        self.log = log if log is not None else CheckpointLog(max_versions)
+        self.enabled = True
+        #: count of checkpointed ranges, for the overhead model
+        self.updates_recorded = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Register all hooks; idempotent."""
+        if self._attached:
+            return
+        self.pool.add_persist_hook(self._on_persist)
+        self.txman.add_begin_hook(self._on_tx_begin)
+        self.txman.add_commit_hook(self._on_tx_commit)
+        self.allocator.add_alloc_hook(self._on_alloc)
+        self.allocator.add_free_hook(self._on_free)
+        self.allocator.add_realloc_hook(self._on_realloc)
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.pool.remove_persist_hook(self._on_persist)
+        self._attached = False
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def _on_persist(self, addr: int, nwords: int, values: List[int], tag: str) -> None:
+        if not self.enabled:
+            return
+        tx_id = self.txman.current_tx_id if tag == "tx-commit" else 0
+        self.log.record_update(addr, nwords, values, tx_id=tx_id)
+        self.updates_recorded += 1
+
+    def _on_tx_begin(self, tx_id: int) -> None:
+        if self.enabled:
+            self.log.record_tx_begin(tx_id)
+
+    def _on_tx_commit(self, tx_id: int, ranges: List[Tuple[int, int]]) -> None:
+        if self.enabled:
+            self.log.record_tx_commit(tx_id)
+
+    def _on_alloc(self, addr: int, nwords: int) -> None:
+        if self.enabled:
+            self.log.record_alloc(addr, nwords)
+
+    def _on_free(self, addr: int, nwords: int) -> None:
+        if self.enabled:
+            self.log.record_free(addr, nwords)
+
+    def _on_realloc(self, old_addr: int, new_addr: int, nwords: int) -> None:
+        if self.enabled:
+            self.log.link_realloc(old_addr, new_addr)

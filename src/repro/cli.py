@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``list-faults`` — the Table 2 registry.
+* ``study`` — the Section 2 empirical-study aggregates.
+* ``run`` — one (fault, solution) experiment with full reporting.
+* ``matrix`` — the 12-fault recoverability row for one solution.
+* ``analyze`` — static-analysis statistics for one target system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.faults.registry import ALL_SCENARIOS
+from repro.faults.study import (
+    bugs_per_system,
+    consequence_distribution,
+    propagation_distribution,
+    root_cause_distribution,
+)
+from repro.harness.experiment import SOLUTIONS, run_experiment
+from repro.harness.report import render_bars, render_table
+
+
+def _cmd_list_faults(_args) -> int:
+    rows = [
+        [s.fid, s.system, s.fault, s.consequence, s.kind]
+        for s in ALL_SCENARIOS
+    ]
+    print(render_table(
+        "Reproduced hard faults (paper Table 2)",
+        ["id", "system", "fault", "consequence", "kind"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_study(_args) -> int:
+    counts = bugs_per_system()
+    rows = [[s, o, n] for (s, o), n in sorted(counts.items())]
+    print(render_table("Study dataset (paper Table 1)",
+                       ["system", "type", "cases"], rows))
+    print()
+    print(render_bars("Root causes (Figure 2)", root_cause_distribution(),
+                      unit="%"))
+    print()
+    print(render_bars("Consequences (Figure 3)", consequence_distribution(),
+                      unit="%"))
+    print()
+    print(render_bars("Propagation (Section 2.6)",
+                      propagation_distribution(), unit="%"))
+    return 0
+
+
+def _report_result(result) -> None:
+    if not result.manifested:
+        print("the fault did not manifest with this seed")
+        return
+    print(f"detected: "
+          f"{result.detection_fault.kind + ' at ' + result.detection_fault.location if result.detection_fault else result.detection_violation}")
+    print(f"confirmed hard (recurs across restart): {result.confirmed_hard}")
+    m = result.mitigation
+    if m is None:
+        return
+    print(f"mitigation [{m.solution}]: recovered={m.recovered} "
+          f"attempts={m.attempts} time={m.duration_seconds:.1f}s "
+          f"discarded={m.discarded_pct:.2f}%")
+    if m.consistent is not None:
+        print(f"consistent: {m.consistent}"
+              + (f" violations: {m.violations}" if m.violations else ""))
+    if m.notes:
+        print(f"notes: {m.notes}")
+
+
+def _cmd_run(args) -> int:
+    result = run_experiment(args.fault, args.solution, seed=args.seed)
+    _report_result(result)
+    return 0 if (result.mitigation and result.mitigation.recovered) else 1
+
+
+def _cmd_matrix(args) -> int:
+    rows = []
+    for scenario in ALL_SCENARIOS:
+        result = run_experiment(scenario.fid, args.solution, seed=args.seed)
+        m = result.mitigation
+        rows.append([
+            scenario.fid,
+            "Y" if (m and m.recovered) else "N",
+            m.attempts if m else "-",
+            f"{m.discarded_pct:.2f}%" if m else "-",
+            {True: "Y", False: "N", None: "-"}[m.consistent if m else None],
+        ])
+        print(f"  {scenario.fid}: done", file=sys.stderr)
+    print(render_table(
+        f"Recoverability row for {args.solution} (seed {args.seed})",
+        ["fault", "recovered", "attempts", "discarded", "consistent"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.systems import ALL_ADAPTERS
+
+    cls = ALL_ADAPTERS[args.system]
+    static = cls.static_artifacts()
+    module, analysis = static.module, static.analysis
+    rows = [
+        ["IR instructions", module.instr_count()],
+        ["functions", len(module.functions)],
+        ["PM instructions", len(analysis.pm.pm_instr_iids)],
+        ["PM registers", len(analysis.pm.pm_registers)],
+        ["PDG nodes", analysis.pdg.node_count()],
+        ["PDG edges", analysis.pdg.edge_count()],
+        ["points-to iterations", analysis.points_to.iterations],
+        ["trace GUIDs", len(static.guid_map)],
+    ]
+    print(render_table(f"Static analysis of {args.system}",
+                       ["metric", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Arthas reproduction: hard-fault recovery for PM systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-faults", help="list the 12 reproduced faults")
+    sub.add_parser("study", help="print the Section 2 study aggregates")
+
+    run_p = sub.add_parser("run", help="run one fault/solution experiment")
+    run_p.add_argument("--fault", required=True,
+                       choices=[s.fid for s in ALL_SCENARIOS])
+    run_p.add_argument("--solution", default="arthas", choices=SOLUTIONS)
+    run_p.add_argument("--seed", type=int, default=0)
+
+    matrix_p = sub.add_parser("matrix", help="all 12 faults for one solution")
+    matrix_p.add_argument("--solution", default="arthas", choices=SOLUTIONS)
+    matrix_p.add_argument("--seed", type=int, default=0)
+
+    analyze_p = sub.add_parser("analyze", help="static-analysis statistics")
+    analyze_p.add_argument("--system", required=True,
+                           choices=["memcached", "redis", "cceh",
+                                    "pelikan", "pmemkv", "levelhash"])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-faults": _cmd_list_faults,
+        "study": _cmd_study,
+        "run": _cmd_run,
+        "matrix": _cmd_matrix,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Failure detection: crash/hang/leak/user-check monitoring.
+
+:class:`Detector.observe` wraps one execution of the target system,
+turning guest traps into :class:`RunOutcome` values, recording failure
+signatures, and judging (via :func:`signatures_similar`) whether a
+failure that recurred after a restart is a *potential hard failure*.
+
+:class:`LeakMonitor` watches PM usage growth relative to the live-item
+count — the "PM usage monitor" the paper uses to stop leaking systems.
+User-defined checks (e.g. "inserted key/value items exist") are callables
+returning a violation message or None.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.detector.signature import FailureSignature, signatures_similar
+from repro.errors import Trap
+from repro.lang.interp import FaultInfo, Machine
+from repro.pmem.allocator import PMAllocator
+
+#: a user check returns None when satisfied, else a violation message
+UserCheck = Callable[[], Optional[str]]
+
+
+@dataclass
+class RunOutcome:
+    """Result of one detector-observed execution."""
+
+    ok: bool
+    fault: Optional[FaultInfo] = None
+    signature: Optional[FailureSignature] = None
+    #: message from a failed user check (fault-free data-loss failures)
+    violation: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+
+class LeakMonitor:
+    """Flags runaway PM usage (persistent leaks).
+
+    ``threshold_ratio`` is the tolerated ratio of allocated words to the
+    words accounted for by live application items; ``usage_limit`` is an
+    absolute usage fraction that triggers regardless.
+    """
+
+    def __init__(
+        self,
+        allocator: PMAllocator,
+        expected_words_fn: Callable[[], int],
+        threshold_ratio: float = 3.0,
+        usage_limit: float = 0.9,
+    ):
+        self.allocator = allocator
+        self.expected_words_fn = expected_words_fn
+        self.threshold_ratio = threshold_ratio
+        self.usage_limit = usage_limit
+
+    def check(self) -> Optional[str]:
+        """Return a violation message when usage looks like a leak."""
+        used = self.allocator.used_words()
+        if self.allocator.usage_ratio() >= self.usage_limit:
+            return f"PM usage at {self.allocator.usage_ratio():.0%} of pool"
+        expected = self.expected_words_fn()
+        if expected > 0 and used > expected * self.threshold_ratio:
+            return (
+                f"PM usage {used} words vs {expected} expected "
+                f"(ratio {used / expected:.1f})"
+            )
+        return None
+
+
+class Detector:
+    """Observes runs, keeps failure history, flags potential hard faults."""
+
+    def __init__(self) -> None:
+        self.history: List[FailureSignature] = []
+        self.user_checks: List[UserCheck] = []
+        self.leak_monitor: Optional[LeakMonitor] = None
+
+    def add_user_check(self, check: UserCheck) -> None:
+        """Register a user-defined check consulted after trap-free runs."""
+        self.user_checks.append(check)
+
+    def set_leak_monitor(self, monitor: LeakMonitor) -> None:
+        """Attach the PM usage monitor consulted after trap-free runs."""
+        self.leak_monitor = monitor
+
+    # ------------------------------------------------------------------
+    def observe(self, machine: Machine, action: Callable[[], None]) -> RunOutcome:
+        """Run ``action`` under observation; never re-raises guest traps."""
+        try:
+            action()
+        except Trap:
+            fault = machine.last_fault
+            assert fault is not None
+            signature = FailureSignature.from_fault(fault)
+            self.history.append(signature)
+            return RunOutcome(ok=False, fault=fault, signature=signature)
+        # trap-free: consult user checks and the leak monitor
+        for check in self.user_checks:
+            violation = check()
+            if violation is not None:
+                return RunOutcome(ok=False, violation=violation)
+        if self.leak_monitor is not None:
+            violation = self.leak_monitor.check()
+            if violation is not None:
+                return RunOutcome(ok=False, violation=violation)
+        return RunOutcome(ok=True)
+
+    # ------------------------------------------------------------------
+    def is_potential_hard_failure(self, signature: FailureSignature) -> bool:
+        """True when a similar failure was seen before (recurs on retry)."""
+        earlier = [s for s in self.history if s is not signature]
+        return any(signatures_similar(signature, s) for s in earlier)
+
+    def last_signature(self) -> Optional[FailureSignature]:
+        """The most recently recorded failure signature, if any."""
+        return self.history[-1] if self.history else None

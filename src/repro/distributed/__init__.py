@@ -1,0 +1,36 @@
+"""Distributed hard-fault recovery (paper Section 7, future work).
+
+The paper sketches how Arthas could extend beyond a single component:
+
+  "We could have each component checkpoint PM states locally, and add a
+   global coordinator that runs a special rollback-recovery protocol.
+   We can expose the Arthas metadata in each component to the
+   coordinator for determining an effective recovery plan.  For external
+   dependencies created by clients ... the PM system and client can
+   maintain vector clocks; after the PM system successfully rollbacks to
+   a particular point, the client will then be notified to rollback its
+   events with vector clocks after that point."
+
+This package implements that sketch at laptop scale:
+
+* :mod:`repro.distributed.cluster` — a cluster of independent PM nodes
+  (each with its own pool, checkpoint log, trace and analyzer metadata),
+  a client layer that stamps every request with a vector clock, and an
+  operation log mapping requests to checkpoint sequence ranges.
+* :mod:`repro.distributed.recovery` — the coordinator: mitigate the
+  failing node with the local Arthas reactor, map its reverted sequence
+  numbers back to client requests, and cascade-revert every request that
+  causally follows a discarded one (Fidge/Mattern happens-before over
+  the vector clocks), node by node, until the closure is empty.
+"""
+
+from repro.distributed.cluster import Cluster, ClusterClient, OpRecord
+from repro.distributed.recovery import DistributedReactor, DistributedRecoveryReport
+
+__all__ = [
+    "Cluster",
+    "ClusterClient",
+    "OpRecord",
+    "DistributedReactor",
+    "DistributedRecoveryReport",
+]

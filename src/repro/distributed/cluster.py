@@ -1,0 +1,188 @@
+"""A cluster of single-node PM systems with vector-clock-stamped clients.
+
+Each node is one fully-equipped system deployment (its own pool,
+allocator, checkpoint log and PM-address trace).  Requests are routed by
+key; every mutation is recorded in a cluster-wide operation log carrying:
+
+* the issuing client and its vector clock at send time, and
+* the span of checkpoint-log sequence numbers the operation produced on
+  its node.
+
+The sequence spans let the coordinator translate "node i reverted
+sequence numbers S" into "these client operations were discarded"; the
+vector clocks define which other operations causally depend on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Type
+
+from repro.systems.common import SystemAdapter
+from repro.systems.memcached import MemcachedAdapter
+
+VectorClock = Tuple[int, ...]
+
+
+def vc_leq(a: VectorClock, b: VectorClock) -> bool:
+    """Component-wise <= : a happened-before-or-equal b."""
+    return all(x <= y for x, y in zip(a, b))
+
+
+def vc_less(a: VectorClock, b: VectorClock) -> bool:
+    """Strict happens-before."""
+    return vc_leq(a, b) and a != b
+
+
+def vc_merge(a: VectorClock, b: VectorClock) -> VectorClock:
+    return tuple(max(x, y) for x, y in zip(a, b))
+
+
+@dataclass
+class OpRecord:
+    """One mutating client request in the cluster operation log."""
+
+    op_id: int
+    client: int
+    node: int
+    kind: str  # "insert" | "delete"
+    key: int
+    value: int
+    vc: VectorClock
+    first_seq: int
+    last_seq: int
+    #: set by the coordinator when the operation is discarded by recovery
+    discarded: bool = False
+
+
+class Cluster:
+    """N independent PM nodes plus the operation log."""
+
+    def __init__(
+        self,
+        n_nodes: int = 3,
+        n_clients: int = 2,
+        adapter_cls: Type[SystemAdapter] = MemcachedAdapter,
+        seed: int = 0,
+    ):
+        self.nodes: List[SystemAdapter] = []
+        for i in range(n_nodes):
+            node = adapter_cls(seed=seed + i)
+            node.start()
+            self.nodes.append(node)
+        self.n_clients = n_clients
+        self.n_nodes = n_nodes
+        #: per-client vector clocks over (clients + nodes) dimensions
+        self._dims = n_clients + n_nodes
+        self._client_vc: List[List[int]] = [
+            [0] * self._dims for _ in range(n_clients)
+        ]
+        self._node_vc: List[List[int]] = [
+            [0] * self._dims for _ in range(n_nodes)
+        ]
+        self.oplog: List[OpRecord] = []
+        self._next_op_id = 1
+
+    # ------------------------------------------------------------------
+    def node_for(self, key: int) -> int:
+        return key % self.n_nodes
+
+    def _stamp(self, client: int, node: int) -> VectorClock:
+        """Advance and exchange clocks for one client->node request."""
+        cvc = self._client_vc[client]
+        cvc[client] += 1
+        nvc = self._node_vc[node]
+        merged = [max(a, b) for a, b in zip(cvc, nvc)]
+        merged[self.n_clients + node] += 1
+        self._node_vc[node] = list(merged)
+        self._client_vc[client] = list(merged)
+        return tuple(merged)
+
+    # ------------------------------------------------------------------
+    def insert(self, client: int, key: int, value: int) -> OpRecord:
+        node_id = self.node_for(key)
+        node = self.nodes[node_id]
+        first = node.ckpt.log.max_seq() + 1
+        node.insert(key, value)
+        last = node.ckpt.log.max_seq()
+        record = OpRecord(
+            op_id=self._next_op_id,
+            client=client,
+            node=node_id,
+            kind="insert",
+            key=key,
+            value=value,
+            vc=self._stamp(client, node_id),
+            first_seq=first,
+            last_seq=last,
+        )
+        self._next_op_id += 1
+        self.oplog.append(record)
+        return record
+
+    def delete(self, client: int, key: int) -> OpRecord:
+        node_id = self.node_for(key)
+        node = self.nodes[node_id]
+        first = node.ckpt.log.max_seq() + 1
+        node.delete(key)
+        last = node.ckpt.log.max_seq()
+        record = OpRecord(
+            op_id=self._next_op_id,
+            client=client,
+            node=node_id,
+            kind="delete",
+            key=key,
+            value=0,
+            vc=self._stamp(client, node_id),
+            first_seq=first,
+            last_seq=last,
+        )
+        self._next_op_id += 1
+        self.oplog.append(record)
+        return record
+
+    def lookup(self, client: int, key: int) -> int:
+        """Reads exchange clocks too (they create causal edges)."""
+        node_id = self.node_for(key)
+        value = self.nodes[node_id].lookup(key)
+        self._stamp(client, node_id)
+        return value
+
+    # ------------------------------------------------------------------
+    def ops_on_node(self, node_id: int) -> List[OpRecord]:
+        return [op for op in self.oplog if op.node == node_id]
+
+    def ops_overlapping_seqs(self, node_id: int, seqs) -> List[OpRecord]:
+        """Operations on a node whose sequence span intersects ``seqs``."""
+        seqset = set(seqs)
+        return [
+            op
+            for op in self.ops_on_node(node_id)
+            if any(op.first_seq <= s <= op.last_seq for s in seqset)
+        ]
+
+
+class ClusterClient:
+    """Convenience wrapper binding a client id to a cluster."""
+
+    def __init__(self, cluster: Cluster, client_id: int):
+        self.cluster = cluster
+        self.client_id = client_id
+
+    def insert(self, key: int, value: int) -> OpRecord:
+        return self.cluster.insert(self.client_id, key, value)
+
+    def delete(self, key: int) -> OpRecord:
+        return self.cluster.delete(self.client_id, key)
+
+    def lookup(self, key: int) -> int:
+        return self.cluster.lookup(self.client_id, key)
+
+    def derived_insert(self, src_key: int, dst_key: int, f=lambda v: v + 1) -> Optional[OpRecord]:
+        """Read ``src_key`` and write a value derived from it — the
+        cross-node dependency pattern of the paper's Section 7 example
+        (request r2 is computed from request r1's result)."""
+        value = self.lookup(src_key)
+        if value == -1:
+            return None
+        return self.insert(dst_key, f(value))

@@ -1,0 +1,146 @@
+"""The distributed recovery coordinator (paper Section 7 sketch).
+
+Protocol, in the terms of Elnozahy et al.'s rollback-recovery survey
+(which the paper cites as the blueprint):
+
+1. **Local recovery.**  The failing node runs its local Arthas reactor
+   (slice x trace x checkpoint log, purge mode) exactly as in the
+   single-node case.
+2. **Damage assessment.**  The reverted sequence numbers are mapped back
+   through the operation log to the client requests they discarded.
+3. **Causal cascade.**  Any request whose vector clock is causally after
+   a discarded request (the client observed discarded state before
+   issuing it) is *orphaned*: the coordinator reverts its checkpoint
+   entries on whatever node it executed, transactions included.  New
+   orphans found there cascade in turn, until a fixpoint.
+
+The result is a causally consistent cut: no surviving request depends on
+discarded state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Set
+
+from repro.detector.monitor import Detector, RunOutcome
+from repro.distributed.cluster import Cluster, OpRecord, vc_less
+from repro.harness.simclock import ReexecDelay, SimClock
+from repro.reactor.plan import distance_policy
+from repro.reactor.revert import Reverter
+from repro.reactor.server import ReactorServer
+
+
+@dataclass
+class DistributedRecoveryReport:
+    """What the coordinator did across the cluster."""
+
+    recovered: bool
+    failing_node: int
+    local_attempts: int = 0
+    discarded_ops: List[OpRecord] = field(default_factory=list)
+    cascaded_ops: List[OpRecord] = field(default_factory=list)
+    rounds: int = 0
+
+    def discarded_keys(self) -> Set[int]:
+        return {op.key for op in self.discarded_ops + self.cascaded_ops}
+
+
+class DistributedReactor:
+    """Coordinator running the cascade over one cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    def mitigate(
+        self,
+        failing_node: int,
+        fault_iid: int,
+        verify: Callable[[], None],
+        seed: int = 0,
+    ) -> DistributedRecoveryReport:
+        """Recover ``failing_node`` from ``fault_iid``, then cascade.
+
+        ``verify`` is the failing node's symptom check (raises a guest
+        trap while the symptom persists), as in single-node re-execution.
+        """
+        node = self.cluster.nodes[failing_node]
+        detector = Detector()
+
+        def reexec() -> RunOutcome:
+            node.restart()
+            return detector.observe(
+                node.machine, lambda: (node.recover(), verify())
+            )
+
+        server = ReactorServer(node.module, analysis=node.analysis)
+        plan = server.compute_plan(
+            node.guid_map, node.trace, node.ckpt.log, fault_iid,
+            policy=distance_policy(max_distance=8),
+        )
+        reverter = Reverter(
+            node.ckpt.log, node.pool, node.allocator,
+            reexec=reexec, clock=SimClock(), reexec_delay=ReexecDelay(seed),
+        )
+        local = reverter.mitigate_purge(plan)
+        report = DistributedRecoveryReport(
+            recovered=local.recovered,
+            failing_node=failing_node,
+            local_attempts=local.attempts,
+        )
+        if not local.recovered:
+            return report
+
+        report.discarded_ops = self.cluster.ops_overlapping_seqs(
+            failing_node, set(local.reverted_seqs)
+        )
+        for op in report.discarded_ops:
+            op.discarded = True
+
+        # causal cascade to a fixpoint
+        frontier = list(report.discarded_ops)
+        while frontier:
+            report.rounds += 1
+            orphans = self._orphans_of(frontier)
+            if not orphans:
+                break
+            for orphan in orphans:
+                self._revert_op(orphan)
+                orphan.discarded = True
+            report.cascaded_ops.extend(orphans)
+            frontier = orphans
+        # every touched node re-runs recovery over its final state
+        touched = {op.node for op in report.cascaded_ops}
+        for node_id in touched:
+            peer = self.cluster.nodes[node_id]
+            peer.restart()
+            peer.recover()
+        return report
+
+    # ------------------------------------------------------------------
+    def _orphans_of(self, discarded: List[OpRecord]) -> List[OpRecord]:
+        """Not-yet-discarded ops causally after any discarded op."""
+        orphans = []
+        for op in self.cluster.oplog:
+            if op.discarded:
+                continue
+            for gone in discarded:
+                if vc_less(gone.vc, op.vc):
+                    orphans.append(op)
+                    break
+        return orphans
+
+    def _revert_op(self, op: OpRecord) -> None:
+        """Revert one operation's checkpoint entries on its node."""
+        node = self.cluster.nodes[op.node]
+        reverter = Reverter(
+            node.ckpt.log, node.pool, node.allocator,
+            reexec=lambda: RunOutcome(ok=True),
+        )
+        seqs: Set[int] = set()
+        for seq in range(op.first_seq, op.last_seq + 1):
+            for member in reverter.tx_closure(seq):
+                seqs.add(member)
+        for seq in sorted(seqs, reverse=True):
+            reverter.revert_update_seq(seq, 1, guard_dangling=True)

@@ -1,0 +1,20 @@
+"""Fault scenarios (Table 2) and the empirical-study dataset (Section 2).
+
+* :mod:`repro.faults.registry` — the 12 reproduced hard faults f1-f12,
+  each with its trigger, manifestation, symptom verification and
+  consistency checks.
+* :mod:`repro.faults.study` — the 28-bug empirical study: root causes
+  (Figure 2), consequences (Figure 3), propagation types (Section 2.6)
+  and per-system counts (Table 1).
+"""
+
+from repro.faults.registry import ALL_SCENARIOS, FaultScenario, scenario_by_id
+from repro.faults.study import STUDY_BUGS, StudyBug
+
+__all__ = [
+    "FaultScenario",
+    "ALL_SCENARIOS",
+    "scenario_by_id",
+    "StudyBug",
+    "STUDY_BUGS",
+]

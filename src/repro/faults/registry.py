@@ -1,0 +1,602 @@
+"""The 12 reproduced hard faults (paper Table 2).
+
+Each :class:`FaultScenario` packages one real-world bug: how the workload
+runs before it, how it is triggered, how the failure *manifests* (the
+detector's observation), how a re-execution verifies the symptom is gone,
+and what extra consistency obligations a recovery must meet.
+
+The scenarios are written so the evaluation *shapes* of the paper emerge
+mechanically rather than being hard-coded:
+
+* corruptions sit dormant while unrelated updates accumulate (defeating
+  time-ordered one-at-a-time reversion — ArCkpt times out),
+* the two overflow faults (f4, f10) crash almost immediately (the only
+  cases ArCkpt handles),
+* triggers land mid-run, after pmCRIU snapshots exist (except the seeded
+  early-trigger runs of f5/f8, pmCRIU's probabilistic cases),
+* leaks (f8, f12) have no useful fault instruction and exercise the
+  recovery-diff mitigation instead of slicing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.errors import InjectedCrash
+from repro.systems import ALL_ADAPTERS
+from repro.workloads.generators import VALUE_BASE, Op, OpKind
+
+
+class FaultScenario:
+    """Base class: one reproduced hard fault."""
+
+    fid = "f0"
+    system = "none"
+    fault = ""
+    consequence = ""
+    #: "trap" (crash/hang/panic), "dataloss" (failed checks) or "leak"
+    kind = "trap"
+    checksum_detectable = False
+    pre_ops = 280
+    post_ops = 260
+    #: leak-monitor ratio used when kind == "leak"
+    leak_ratio = 3.0
+    #: workload mix: load-heavy before the trigger, serve-heavy after
+    pre_mix = (0.85, 0.13)
+    post_mix = (0.05, 0.90)
+
+    # ------------------------------------------------------------------
+    def adapter_cls(self):
+        return ALL_ADAPTERS[self.system]
+
+    def trigger_op_index(self, seed: int) -> int:
+        """Operation index at which the trigger fires (default: half-way)."""
+        return self.pre_ops
+
+    def exclude_key(self, ctx, key: int) -> bool:
+        """Keys the post-trigger workload must avoid (poisoned buckets)."""
+        fn = ctx.state.get("exclude")
+        return bool(fn and fn(key))
+
+    # ------------------------------------------------------------------
+    def apply_op(self, ctx, op: Op) -> None:
+        """Apply one workload request and maintain the oracle."""
+        if op.kind is OpKind.INSERT:
+            ctx.adapter.insert(op.key, op.value)
+            ctx.oracle[op.key] = op.value
+        elif op.kind is OpKind.GET:
+            ctx.adapter.lookup(op.key)
+        else:
+            ctx.adapter.delete(op.key)
+            ctx.oracle.pop(op.key, None)
+
+    def trigger(self, ctx) -> None:
+        raise NotImplementedError
+
+    def manifest(self, ctx) -> None:
+        """Perform the action that exhibits the failure (traps escape).
+
+        The default checks a stable sample of oracle keys through the
+        system's guest-side check function — the paper's user-defined
+        "inserted key/value items exist" check.
+        """
+        for key in ctx.sample_keys(6):
+            ctx.adapter.check_key(key)
+
+    def verify(self, ctx) -> None:
+        """Re-execution symptom check: raise a Trap while symptom persists.
+
+        The default re-runs the manifest action; scenarios narrow it to
+        the originally failing symptom so that data legitimately
+        discarded by a reversion is not miscounted as failure.
+        """
+        self.manifest(ctx)
+
+    def extra_consistency(self, ctx) -> List[str]:
+        """Scenario-specific semantic checks after a recovery."""
+        return []
+
+    def _update_existing(self, ctx, op: Op) -> None:
+        """Rewrite a live, non-excluded key in place (steady-state noise)."""
+        keys = [k for k in sorted(ctx.oracle) if not self.exclude_key(ctx, k)]
+        if not keys:
+            return
+        key = keys[op.key % len(keys)]
+        ctx.adapter.insert(key, op.value)
+        ctx.oracle[key] = op.value
+
+
+# ----------------------------------------------------------------------
+# memcached
+# ----------------------------------------------------------------------
+class F1RefcountOverflow(FaultScenario):
+    fid = "f1"
+    system = "memcached"
+    fault = "Refcount overflow"
+    consequence = "Deadlock"
+    kind = "trap"
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        victim = min(ctx.oracle)
+        # GETs wrap the 8-bit refcount around to 0 (no overflow check)
+        for _ in range(256):
+            if adapter.call("mc_refcount", adapter.root, victim) == 0:
+                break
+            adapter.lookup(victim)
+        # the reaper frees refcount-0 items without unlinking them
+        adapter.reap()
+        ctx.oracle.pop(victim, None)
+        # a re-insert reclaims the freed block; its chain pointer now
+        # points at itself.  Key deltas are large powers of two so the
+        # keys share a bucket whatever the table size grew to.
+        poison = victim + (1 << 20) * 3
+        adapter.insert(poison, VALUE_BASE + poison)
+        ctx.oracle[poison] = VALUE_BASE + poison
+        bucket = victim % 64
+        ctx.state["bucket"] = bucket
+        ctx.state["probe"] = victim + (1 << 20) * 5
+        ctx.state["exclude"] = lambda key: key % 64 == bucket
+
+    def manifest(self, ctx) -> None:
+        # a GET for an absent key in the poisoned bucket walks the
+        # self-loop forever
+        ctx.adapter.lookup(ctx.state["probe"])
+
+    def verify(self, ctx) -> None:
+        assert ctx.adapter.lookup(ctx.state["probe"]) == -1
+        for key in ctx.sample_keys(3, exclude=self.exclude_key_set(ctx)):
+            ctx.adapter.check_key(key)
+
+    def exclude_key_set(self, ctx):
+        bucket = ctx.state.get("bucket", -1)
+        return lambda key: key % 64 == bucket
+
+
+class F2FlushAllLogic(FaultScenario):
+    fid = "f2"
+    system = "memcached"
+    fault = "flush_all logic bug"
+    consequence = "Data loss"
+    kind = "dataloss"
+    # after the trigger the traffic rewrites existing keys in place and
+    # re-reads the (now missing) victims: plenty of unrelated updates for
+    # time-ordered rollback to wade through, but no fresh allocations
+    # that could reuse the wrongly freed victim blocks
+    post_mix = (0.60, 0.35)
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        # a *future* flush time should be scheduled; the bug applies it now
+        now = adapter._root_field("m_time")
+        adapter.flush_all(now + 100_000)
+        victims = sorted(ctx.oracle)[:4]
+        ctx.state["victims"] = victims
+        # the post-trigger serving traffic touches the victims, lazily
+        # (and wrongly) deleting them
+        for key in victims:
+            adapter.lookup(key)
+
+    def apply_op(self, ctx, op: Op) -> None:
+        victims = ctx.state.get("victims")
+        if victims is None:
+            super().apply_op(ctx, op)
+            return
+        # post-trigger: in-place rewrites of live keys plus re-reads of
+        # the victims (which now miss)
+        if op.kind is OpKind.INSERT and ctx.oracle:
+            key = sorted(ctx.oracle)[op.key % len(ctx.oracle)]
+            ctx.adapter.insert(key, op.value)
+            ctx.oracle[key] = op.value
+        else:
+            ctx.adapter.lookup(victims[op.key % len(victims)])
+
+    def manifest(self, ctx) -> None:
+        for key in ctx.state["victims"]:
+            ctx.adapter.check_key(key)
+
+    def verify(self, ctx) -> None:
+        for key in ctx.state["victims"]:
+            ctx.adapter.check_key(key)
+
+
+class F3HashtableRace(FaultScenario):
+    fid = "f3"
+    system = "memcached"
+    fault = "Hashtable lock data race"
+    consequence = "Data loss"
+    kind = "dataloss"
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        # a table expansion races with an insert: the buggy check-then-set
+        # expansion lock admits the insert, which publishes into an
+        # old-table bucket that has already been migrated.  When the
+        # expansion swaps tables, the key becomes unreachable — but its
+        # insert *was* persisted, into the old table.
+        key = (1 << 20) * 7 + 64 * ctx.seed  # bucket 0 under any table size
+        adapter.machine.call_concurrent(
+            [
+                ("mc_expand", (adapter.root,)),
+                ("mc_set", (adapter.root, key, VALUE_BASE + key)),
+            ],
+            quantum=(2, 10),
+        )
+        lost = [key] if adapter.lookup(key) == -1 else []
+        if not lost:
+            ctx.oracle[key] = VALUE_BASE + key
+        ctx.state["lost"] = lost
+        ctx.state["exclude"] = lambda k: k % 64 == key % 64
+
+    def manifest(self, ctx) -> None:
+        for key in ctx.state["lost"]:
+            ctx.adapter.check_key(key)
+
+    def verify(self, ctx) -> None:
+        for key in ctx.state["lost"]:
+            ctx.adapter.check_key(key)
+
+
+class F4AppendOverflow(FaultScenario):
+    fid = "f4"
+    system = "memcached"
+    fault = "Integer overflow in append"
+    consequence = "Segfault"
+    kind = "trap"
+    post_ops = 6  # the overflow crashes the next lookups almost immediately
+
+    def trigger(self, ctx) -> None:
+        # append 257 words: 1 + 257 wraps to 2 in the 8-bit length check
+        victim = sorted(ctx.oracle)[len(ctx.oracle) // 2]
+        ctx.adapter.append(victim, 257, 987_654_321)
+        ctx.state["victim"] = victim
+
+    def manifest(self, ctx) -> None:
+        for key in sorted(ctx.oracle)[:48]:
+            ctx.adapter.lookup(key)
+
+    def verify(self, ctx) -> None:
+        for key in sorted(ctx.oracle)[:48]:
+            ctx.adapter.lookup(key)
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+
+class F5RehashFlagBitflip(FaultScenario):
+    fid = "f5"
+    system = "memcached"
+    fault = "Rehashing flag bit flip"
+    consequence = "Data loss"
+    kind = "dataloss"
+    checksum_detectable = True
+
+    def trigger_op_index(self, seed: int) -> int:
+        if seed == 0:
+            return self.pre_ops
+        # hardware faults strike at a random time; seeds spread the flip
+        # across the run (pmCRIU's probabilistic case)
+        rng = random.Random(seed * 1_000_003)
+        return rng.randrange(30, self.pre_ops + self.post_ops - 30)
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        offset = adapter.STRUCTS["mroot"].index("m_rehashing")
+        addr = adapter.root + offset
+        flipped = adapter.pool.durable_read(addr) ^ 1
+        adapter.pool.durable_write(addr, flipped)
+
+    def manifest(self, ctx) -> None:
+        for key in ctx.sample_keys(4):
+            ctx.adapter.check_key(key)
+
+    def verify(self, ctx) -> None:
+        for key in ctx.sample_keys(4):
+            ctx.adapter.check_key(key)
+
+
+# ----------------------------------------------------------------------
+# redis
+# ----------------------------------------------------------------------
+class F6ListpackOverflow(FaultScenario):
+    fid = "f6"
+    system = "redis"
+    fault = "Listpack buffer overflow"
+    consequence = "Segfault"
+    kind = "trap"
+    # post-trigger traffic keeps rewriting existing keys in place, piling
+    # up updates between the dormant corruption and its manifestation
+    post_mix = (0.45, 0.50)
+    post_ops = 400
+
+    def apply_op(self, ctx, op: Op) -> None:
+        if op.kind is OpKind.INSERT and ctx.state.get("lp_a") and ctx.oracle:
+            self._update_existing(ctx, op)
+            return
+        super().apply_op(ctx, op)
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        # lp_a is allocated, then lp_b right after it in the heap; the
+        # oversized element (1 + 300 wraps past the capacity check)
+        # spills out of lp_a across lp_b's header
+        lp_a = 500_000 + ctx.seed
+        lp_b = lp_a + 1
+        adapter.lpush(lp_a, 3, 7)
+        adapter.lpush(lp_b, 3, 11)
+        adapter.lpush(lp_b, 2, 13)
+        adapter.lpush(lp_a, 300, 987_654_321)
+        ctx.state["lp_a"] = lp_a
+        ctx.state["lp_b"] = lp_b
+        # the spill also trashes the dict entries of both listpacks, so
+        # their whole hash buckets are poisoned until recovery
+        buckets = {lp_a % 64, lp_b % 64}
+        ctx.state["exclude"] = lambda key: key % 64 in buckets
+
+    def manifest(self, ctx) -> None:
+        # reading the corrupted listpack chases a huge bogus length
+        ctx.adapter.lrange(ctx.state["lp_b"])
+
+    def verify(self, ctx) -> None:
+        total = ctx.adapter.lrange(ctx.state["lp_b"])
+        assert total in (-1, 11 * 3 + 13 * 2), f"listpack sum {total}"
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+
+class F7RefcountLogic(FaultScenario):
+    fid = "f7"
+    system = "redis"
+    fault = "Logic bug in refcount"
+    consequence = "Server panic"
+    kind = "trap"
+    # the post phase rewrites existing keys in place (no allocations), so
+    # the prematurely freed object is not silently reused before detection
+    post_mix = (0.45, 0.50)
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        src = 700_000 + ctx.seed
+        shared = src + 1
+        adapter.insert(src, VALUE_BASE + src)
+        adapter.copy(shared, src)  # object now shared, refcount 2
+        adapter.getset(src, VALUE_BASE + src + 7)  # double-decrements
+        ctx.oracle[src] = VALUE_BASE + src + 7
+        ctx.state["shared"] = shared
+        ctx.state["shared_value"] = VALUE_BASE + src
+        ctx.state["exclude"] = lambda key: key in (src, shared)
+
+    def apply_op(self, ctx, op: Op) -> None:
+        # steady-state value updates over existing keys
+        if op.kind is OpKind.INSERT and ctx.state.get("shared") and ctx.oracle:
+            self._update_existing(ctx, op)
+            return
+        super().apply_op(ctx, op)
+
+    def manifest(self, ctx) -> None:
+        ctx.adapter.lookup(ctx.state["shared"])
+
+    def verify(self, ctx) -> None:
+        # the symptom is the panic; a clean miss (the key discarded by a
+        # coarse rollback) is an acceptable recovery
+        ctx.adapter.lookup(ctx.state["shared"])
+
+    def extra_consistency(self, ctx) -> List[str]:
+        value = ctx.adapter.lookup(ctx.state["shared"])
+        if value not in (-1, ctx.state["shared_value"]):
+            return [
+                f"shared key returns {value}, expected {ctx.state['shared_value']}"
+                " (object block reused after un-reverted free)"
+            ]
+        return []
+
+
+class F8SlowlogLeak(FaultScenario):
+    fid = "f8"
+    system = "redis"
+    fault = "slowlogEntry leak"
+    consequence = "Persistent leak"
+    kind = "leak"
+    leak_ratio = 1.25
+
+    def trigger_op_index(self, seed: int) -> int:
+        if seed == 0:
+            return self.pre_ops
+        rng = random.Random(seed * 2_000_003)
+        return rng.randrange(20, self.pre_ops + 40)
+
+    def apply_op(self, ctx, op: Op) -> None:
+        super().apply_op(ctx, op)
+        # slow commands arrive steadily; the trim leaks what it unlinks
+        if ctx.op_index % 3 == 0:
+            ctx.adapter.slow_op(100 + ctx.op_index)
+
+    def trigger(self, ctx) -> None:
+        # a burst of slow commands (e.g. an expensive scan pattern)
+        for i in range(120):
+            ctx.adapter.slow_op(5000 + i)
+
+    def manifest(self, ctx) -> None:  # pragma: no cover - leak path
+        pass  # leaks are detected by the usage monitor, not an action
+
+    def verify(self, ctx) -> None:
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+
+# ----------------------------------------------------------------------
+# cceh
+# ----------------------------------------------------------------------
+class F9DirectoryDoubling(FaultScenario):
+    fid = "f9"
+    system = "cceh"
+    fault = "Directory doubling bug"
+    consequence = "Infinite loop"
+    kind = "trap"
+    pre_mix = (0.9, 0.1)
+    post_mix = (0.45, 0.50)
+
+    def apply_op(self, ctx, op: Op) -> None:
+        # post-trigger traffic rewrites existing keys (the update path is
+        # safe: it finds the key before the full-segment check)
+        if op.kind is OpKind.INSERT and ctx.state.get("stuck") and ctx.oracle:
+            self._update_existing(ctx, op)
+            return
+        super().apply_op(ctx, op)
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        iid = adapter.double_crash_iid()
+
+        def crash(machine, thread, instr):
+            raise InjectedCrash(
+                "untimely crash before global-depth update",
+                location=instr.location(),
+            )
+
+        adapter.machine.add_injection(iid, crash)
+        key = max(ctx.oracle) + 1
+        stuck = None
+        for _ in range(600):
+            try:
+                adapter.insert(key, VALUE_BASE + key)
+                ctx.oracle[key] = VALUE_BASE + key
+                key += 1
+            except InjectedCrash:
+                stuck = key
+                break
+        assert stuck is not None, "directory doubling never triggered"
+        # process restart: the injection dies with the machine
+        adapter.restart()
+        adapter.recover()
+        gd = adapter.pool.read(adapter.root + adapter.STRUCTS["ccroot"].index("cc_gd"))
+        mask = (1 << gd) - 1
+        ctx.state["stuck"] = stuck
+        ctx.state["exclude"] = lambda k, m=mask, s=stuck: (k & m) == (s & m)
+
+    def manifest(self, ctx) -> None:
+        stuck = ctx.state["stuck"]
+        ctx.adapter.insert(stuck, VALUE_BASE + stuck)
+
+    def verify(self, ctx) -> None:
+        stuck = ctx.state["stuck"]
+        assert ctx.adapter.insert(stuck, VALUE_BASE + stuck) == 1
+        assert ctx.adapter.lookup(stuck) == VALUE_BASE + stuck
+        # growth must work again: push enough same-segment keys through to
+        # force a split (and, at max depth, a directory doubling) — a
+        # recovery that merely made room while leaving the doubling
+        # metadata broken hangs here and does not count
+        gd = ctx.adapter.pool.read(
+            ctx.adapter.root + ctx.adapter.STRUCTS["ccroot"].index("cc_gd")
+        )
+        for j in range(1, 6):
+            ctx.adapter.insert(stuck + (1 << gd) * j * 524_287, 77 + j)
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+
+# ----------------------------------------------------------------------
+# pelikan
+# ----------------------------------------------------------------------
+class F10ValueLengthOverflow(FaultScenario):
+    fid = "f10"
+    system = "pelikan"
+    fault = "Value length overflow"
+    consequence = "Segfault"
+    kind = "trap"
+    post_ops = 6  # crashes the next lookups almost immediately
+
+    def trigger(self, ctx) -> None:
+        victim = sorted(ctx.oracle)[len(ctx.oracle) // 2]
+        ctx.adapter.set_value(victim, 260, 987_654_321)
+        ctx.state["victim"] = victim
+
+    def manifest(self, ctx) -> None:
+        for key in sorted(ctx.oracle)[:48]:
+            ctx.adapter.lookup(key)
+
+    def verify(self, ctx) -> None:
+        for key in sorted(ctx.oracle)[:48]:
+            ctx.adapter.lookup(key)
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+
+class F11NullStats(FaultScenario):
+    fid = "f11"
+    system = "pelikan"
+    fault = "Null stats response"
+    consequence = "Segfault"
+    kind = "trap"
+
+    def trigger(self, ctx) -> None:
+        # reset frees the stats block and persists a null pointer; the
+        # lazy re-allocation it relies on was never implemented
+        ctx.adapter.stats_reset()
+
+    def manifest(self, ctx) -> None:
+        ctx.adapter.stats_cmd()
+
+    def verify(self, ctx) -> None:
+        ctx.adapter.stats_cmd()
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+
+# ----------------------------------------------------------------------
+# pmemkv
+# ----------------------------------------------------------------------
+class F12AsyncLazyFree(FaultScenario):
+    fid = "f12"
+    system = "pmemkv"
+    fault = "Asynchronous lazy free"
+    consequence = "Persistent leak"
+    kind = "leak"
+    leak_ratio = 1.3
+    post_mix = (0.35, 0.60)
+
+    def apply_op(self, ctx, op: Op) -> None:
+        super().apply_op(ctx, op)
+        # in normal operation the background thread drains regularly
+        if ctx.op_index % 50 == 49:
+            ctx.adapter.drain()
+
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        victims = sorted(ctx.oracle)[:120]
+        for key in victims:
+            adapter.delete(key)
+            ctx.oracle.pop(key, None)
+        # crash before the asynchronous free thread runs: the unlinked
+        # blocks stay allocated in PM forever
+        adapter.restart()
+        adapter.recover()
+
+    def manifest(self, ctx) -> None:  # pragma: no cover - leak path
+        pass
+
+    def verify(self, ctx) -> None:
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+
+ALL_SCENARIOS: List[FaultScenario] = [
+    F1RefcountOverflow(),
+    F2FlushAllLogic(),
+    F3HashtableRace(),
+    F4AppendOverflow(),
+    F5RehashFlagBitflip(),
+    F6ListpackOverflow(),
+    F7RefcountLogic(),
+    F8SlowlogLeak(),
+    F9DirectoryDoubling(),
+    F10ValueLengthOverflow(),
+    F11NullStats(),
+    F12AsyncLazyFree(),
+]
+
+_BY_ID: Dict[str, FaultScenario] = {s.fid: s for s in ALL_SCENARIOS}
+
+
+def scenario_by_id(fid: str) -> FaultScenario:
+    return _BY_ID[fid]

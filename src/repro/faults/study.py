@@ -1,0 +1,155 @@
+"""The 28-bug empirical study dataset (paper Section 2).
+
+The paper reports aggregates over 28 real-world hard-fault bugs — 8 from
+five new PM systems and 20 historical Redis/Memcached bugs reproduced on
+their PM ports (Table 1) — classified by root cause (Figure 2),
+consequence (Figure 3) and fault-propagation pattern (Section 2.6).
+
+The paper does not enumerate every bug, so the per-bug records here are
+*reconstructed*: the named, described cases (Section 2.3 and Table 2) are
+placed explicitly, and the remainder are filled in so that every
+aggregate matches the published distribution exactly:
+
+* Table 1 counts: CCEH 1, Dash 1, PMEMKV 2, LevelHash 2, RECIPE 2 (new);
+  Memcached 9, Redis 11 (ported).
+* Figure 2 root causes: logic 46%, race 18%, integer overflow 11%,
+  buffer overflow 11%, memory leak 11%, hardware fault 4%.
+* Figure 3 consequences: repeated crash 32%, wrong result 21%,
+  persistent leak 14%, repeated hang 11%, out of space 7%,
+  data loss 7%, corruption 7%.
+* Propagation: Type I 18%, Type II 68%, Type III 14%.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+# root causes (Figure 2)
+LOGIC = "logic error"
+INT_OVERFLOW = "integer overflow"
+RACE = "race condition"
+BUF_OVERFLOW = "buffer overflow"
+HW_FAULT = "hardware fault"
+MEM_LEAK = "memory leak"
+
+# consequences (Figure 3)
+CRASH = "repeated crash"
+WRONG = "wrong result"
+CORRUPTION = "corruption"
+OOS = "out of space"
+HANG = "repeated hang"
+LEAK = "persistent leak"
+DATALOSS = "data loss"
+
+# propagation patterns (Section 2.6)
+TYPE_I = "I"  # bad persistent value directly causes the failure
+TYPE_II = "II"  # bad value propagates across volatile/persistent state
+TYPE_III = "III"  # persistent mistake without a bad value (e.g. leak)
+
+
+@dataclass(frozen=True)
+class StudyBug:
+    """One studied hard-fault bug."""
+
+    bug_id: int
+    system: str
+    origin: str  # "new" | "ported"
+    root_cause: str
+    consequence: str
+    propagation: str
+    description: str
+
+
+STUDY_BUGS: List[StudyBug] = [
+    # -- new PM systems (8) ------------------------------------------------
+    StudyBug(1, "cceh", "new", LOGIC, HANG, TYPE_II,
+             "directory doubling leaves global depth stale; inserts loop"),
+    StudyBug(2, "dash", "new", LOGIC, CRASH, TYPE_II,
+             "displacement metadata mishandled during segment split"),
+    StudyBug(3, "pmemkv", "new", MEM_LEAK, LEAK, TYPE_III,
+             "asynchronous lazy free loses queued blocks across a crash"),
+    StudyBug(4, "pmemkv", "new", LOGIC, CRASH, TYPE_I,
+             "stale persistent iterator pointer dereferenced after reopen"),
+    StudyBug(5, "levelhash", "new", LOGIC, WRONG, TYPE_II,
+             "two-level rehash publishes items under the wrong level mask"),
+    StudyBug(6, "levelhash", "new", INT_OVERFLOW, CRASH, TYPE_II,
+             "bucket index computation overflows on resize"),
+    StudyBug(7, "recipe", "new", RACE, CRASH, TYPE_II,
+             "converted index misses a fence; racy split persists torn node"),
+    StudyBug(8, "recipe", "new", LOGIC, CORRUPTION, TYPE_II,
+             "converted structure persists transient lock word"),
+    # -- ported Memcached (9) ----------------------------------------------
+    StudyBug(9, "memcached", "ported", INT_OVERFLOW, HANG, TYPE_II,
+             "refcount overflow frees linked item; chain self-loop (f1)"),
+    StudyBug(10, "memcached", "ported", LOGIC, DATALOSS, TYPE_II,
+             "flush_all at a future time expires valid items now (f2)"),
+    StudyBug(11, "memcached", "ported", RACE, DATALOSS, TYPE_II,
+             "bucket insert race loses a concurrent update (f3)"),
+    StudyBug(12, "memcached", "ported", INT_OVERFLOW, CRASH, TYPE_II,
+             "append length wraps; value spills over neighbour items (f4)"),
+    StudyBug(13, "memcached", "ported", HW_FAULT, WRONG, TYPE_II,
+             "bit flip in persisted rehashing flag misroutes lookups (f5)"),
+    StudyBug(14, "memcached", "ported", LOGIC, CRASH, TYPE_I,
+             "persisted item flags invalid; dereference on first access"),
+    StudyBug(15, "memcached", "ported", MEM_LEAK, OOS, TYPE_III,
+             "slab rebalance forgets to release evacuated pages"),
+    StudyBug(16, "memcached", "ported", LOGIC, WRONG, TYPE_II,
+             "CAS id persisted stale; conditional writes misjudged"),
+    StudyBug(17, "memcached", "ported", RACE, CRASH, TYPE_II,
+             "LRU crawler races eviction; persisted dangling prev pointer"),
+    # -- ported Redis (11) -------------------------------------------------
+    StudyBug(18, "redis", "ported", BUF_OVERFLOW, CRASH, TYPE_II,
+             "listpack encoding for >4096B corrupts size; reads segfault (f6)"),
+    StudyBug(19, "redis", "ported", LOGIC, CRASH, TYPE_I,
+             "shared object refcount decremented twice; panic on access (f7)"),
+    StudyBug(20, "redis", "ported", MEM_LEAK, LEAK, TYPE_III,
+             "slowlog entries unlinked but never freed (f8)"),
+    StudyBug(21, "redis", "ported", LOGIC, WRONG, TYPE_II,
+             "expire bookkeeping persisted inconsistently with dict"),
+    StudyBug(22, "redis", "ported", BUF_OVERFLOW, CORRUPTION, TYPE_II,
+             "ziplist cascade update writes past reallocated region"),
+    StudyBug(23, "redis", "ported", LOGIC, HANG, TYPE_I,
+             "persisted cyclic quicklist node; iteration never ends"),
+    StudyBug(24, "redis", "ported", RACE, WRONG, TYPE_I,
+             "lazy-free race persists object flagged both live and dead"),
+    StudyBug(25, "redis", "ported", LOGIC, LEAK, TYPE_III,
+             "module data type forgets free hook for persisted values"),
+    StudyBug(26, "redis", "ported", RACE, LEAK, TYPE_II,
+             "racy cluster resharding skips cleanup of migrated slots"),
+    StudyBug(27, "redis", "ported", LOGIC, OOS, TYPE_II,
+             "AOF-rewrite scratch structures persisted and accumulated"),
+    StudyBug(28, "redis", "ported", BUF_OVERFLOW, WRONG, TYPE_II,
+             "sds header overflow yields wrong string length after reopen"),
+]
+
+
+# ----------------------------------------------------------------------
+# aggregations (Tables/Figures of Section 2)
+# ----------------------------------------------------------------------
+def bugs_per_system() -> Dict[Tuple[str, str], int]:
+    """Table 1: (system, origin) -> count."""
+    counter: Counter = Counter((b.system, b.origin) for b in STUDY_BUGS)
+    return dict(counter)
+
+
+def root_cause_distribution() -> Dict[str, float]:
+    """Figure 2: root cause -> percentage."""
+    counter: Counter = Counter(b.root_cause for b in STUDY_BUGS)
+    total = len(STUDY_BUGS)
+    return {cause: 100.0 * n / total for cause, n in counter.most_common()}
+
+
+def consequence_distribution() -> Dict[str, float]:
+    """Figure 3: consequence -> percentage."""
+    counter: Counter = Counter(b.consequence for b in STUDY_BUGS)
+    total = len(STUDY_BUGS)
+    return {cons: 100.0 * n / total for cons, n in counter.most_common()}
+
+
+def propagation_distribution() -> Dict[str, float]:
+    """Section 2.6: propagation type -> percentage."""
+    counter: Counter = Counter(b.propagation for b in STUDY_BUGS)
+    total = len(STUDY_BUGS)
+    return {f"Type {t}": 100.0 * n / total for t, n in sorted(counter.items())}

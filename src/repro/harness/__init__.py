@@ -1,0 +1,24 @@
+"""Experiment harness: clocks, experiments, metrics, report rendering.
+
+Orchestrates the paper's evaluation (Section 6): run a target system
+under a workload on a simulated clock, trigger a fault half-way, detect
+the failure, mitigate with Arthas (purge or rollback), pmCRIU or ArCkpt,
+and measure recoverability, consistency, mitigation time, attempts and
+discarded data.
+"""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    MitigationRun,
+    run_experiment,
+    SOLUTIONS,
+)
+from repro.harness.simclock import SimClock
+
+__all__ = [
+    "SimClock",
+    "run_experiment",
+    "ExperimentResult",
+    "MitigationRun",
+    "SOLUTIONS",
+]

@@ -1,0 +1,499 @@
+"""End-to-end experiment orchestration (paper Section 6.1 methodology).
+
+``run_experiment(fid, solution, seed)`` reproduces one cell of the
+evaluation matrix: run the target system for the simulated 5 minutes,
+fire the bug trigger half-way (or wherever the scenario's seeded timing
+puts it), detect the failure, confirm it recurs across a restart (the
+hard-fault heuristic), mitigate with the chosen solution, and measure
+recoverability, consistency, attempts, time and discarded data.
+
+Solutions:
+
+* ``arthas``     — Arthas in purge mode (the default in the paper)
+* ``arthas-rb``  — Arthas in conservative rollback mode
+* ``pmcriu``     — CRIU + PM pool dumps, 1-minute snapshot interval
+* ``arckpt``     — the checkpoint log without the analyzer
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.baselines.arckpt import ArCkpt
+from repro.baselines.pmcriu import PmCRIU
+from repro.detector.monitor import Detector, LeakMonitor, RunOutcome
+from repro.detector.signature import FailureSignature
+from repro.errors import Trap
+from repro.faults.registry import FaultScenario, scenario_by_id
+from repro.harness.simclock import OP_PERIOD, ReexecDelay, SimClock
+from repro.lang.interp import FaultInfo
+from repro.reactor.leakfix import find_leaked_objects, mitigate_leak
+from repro.reactor.plan import Candidate, distance_policy
+from repro.reactor.revert import MitigationResult, Reverter
+from repro.reactor.server import ReactorServer
+from repro.workloads.generators import MixedWorkload
+
+SOLUTIONS = ("arthas", "arthas-rb", "pmcriu", "arckpt")
+
+#: snapshot interval for pmCRIU in simulated seconds (paper: 1 minute)
+SNAPSHOT_INTERVAL = 60.0
+
+#: mitigation gives up after this much simulated time (paper: 10 minutes)
+MITIGATION_TIMEOUT = 600.0
+
+
+class ExperimentContext:
+    """Mutable state shared between the runner and the scenario."""
+
+    def __init__(self, adapter, scenario: FaultScenario, seed: int):
+        self.adapter = adapter
+        self.scenario = scenario
+        self.seed = seed
+        self.clock = SimClock()
+        self.oracle: Dict[int, int] = {}
+        self.state: Dict[str, object] = {}
+        self.op_index = 0
+
+    def sample_keys(
+        self, n: int, exclude: Optional[Callable[[int], bool]] = None
+    ) -> List[int]:
+        """The earliest still-live oracle keys, skipping excluded ones.
+
+        Early keys are the most durable reference points: they predate
+        the trigger and (for pmCRIU) the first snapshot, so their absence
+        after a recovery genuinely indicates an unrecovered failure.
+        """
+        out: List[int] = []
+        for key in sorted(self.oracle):
+            if self.scenario.exclude_key(self, key):
+                continue
+            if exclude is not None and exclude(key):
+                continue
+            out.append(key)
+            if len(out) >= n:
+                break
+        return out
+
+
+@dataclass
+class MitigationRun:
+    """Measured outcome of one mitigation."""
+
+    solution: str
+    recovered: bool
+    attempts: int = 0
+    duration_seconds: float = 0.0
+    reverted_updates: int = 0
+    total_updates: int = 0
+    items_before: int = 0
+    items_after: int = 0
+    consistent: Optional[bool] = None
+    violations: List[str] = field(default_factory=list)
+    plan_candidates: int = 0
+    slice_size: int = 0
+    pm_slice_size: int = 0
+    slicing_seconds: float = 0.0
+    leaked_blocks: int = 0
+    timed_out: bool = False
+    notes: str = ""
+
+    @property
+    def discarded_pct(self) -> float:
+        """Fraction of state updates discarded by the recovery (Fig. 9)."""
+        if self.solution == "pmcriu":
+            if self.items_before <= 0:
+                return 0.0
+            lost = max(0, self.items_before - self.items_after)
+            return 100.0 * lost / self.items_before
+        if self.total_updates <= 0:
+            return 0.0
+        return 100.0 * self.reverted_updates / self.total_updates
+
+
+@dataclass
+class ExperimentResult:
+    """One cell of the evaluation matrix."""
+
+    fid: str
+    solution: str
+    seed: int
+    manifested: bool
+    confirmed_hard: bool = False
+    detection_fault: Optional[FaultInfo] = None
+    detection_violation: Optional[str] = None
+    invariant_violations: List[str] = field(default_factory=list)
+    checksum_hits: int = 0
+    mitigation: Optional[MitigationRun] = None
+
+
+# ----------------------------------------------------------------------
+def run_experiment(
+    fid: str,
+    solution: str,
+    seed: int = 0,
+    batch_size: int = 1,
+    pre_ops: Optional[int] = None,
+    post_ops: Optional[int] = None,
+    with_checksum: bool = False,
+    consistency_probe: bool = True,
+    detect_only: bool = False,
+) -> ExperimentResult:
+    """Run one (fault, solution) experiment end to end."""
+    if solution not in SOLUTIONS:
+        raise ValueError(f"unknown solution {solution!r}; pick from {SOLUTIONS}")
+    scenario = scenario_by_id(fid)
+    adapter = scenario.adapter_cls()(
+        seed=seed,
+        with_tracing=solution in ("arthas", "arthas-rb"),
+        with_checkpoint=solution in ("arthas", "arthas-rb", "arckpt"),
+    )
+    adapter.start()
+    ctx = ExperimentContext(adapter, scenario, seed)
+    result = ExperimentResult(fid=fid, solution=solution, seed=seed, manifested=False)
+
+    checksum = None
+    if with_checksum:
+        from repro.detector.checksum import ChecksumMonitor
+
+        checksum = ChecksumMonitor(adapter.pool)
+        checksum.attach()
+
+    detector = Detector()
+    monitor: Optional[LeakMonitor] = None
+    if scenario.kind == "leak":
+        monitor = LeakMonitor(
+            adapter.allocator,
+            adapter.expected_item_words,
+            threshold_ratio=scenario.leak_ratio,
+        )
+        detector.set_leak_monitor(monitor)
+
+    pmcriu: Optional[PmCRIU] = None
+    if solution == "pmcriu":
+        pmcriu = PmCRIU(adapter.pool, adapter.allocator, SNAPSHOT_INTERVAL)
+
+    # ------------------------------------------------------------------
+    # phase A + trigger + phase B
+    # ------------------------------------------------------------------
+    n_pre = pre_ops if pre_ops is not None else scenario.pre_ops
+    n_post = post_ops if post_ops is not None else scenario.post_ops
+    trigger_at = min(scenario.trigger_op_index(seed), n_pre + n_post - 1)
+    workload = MixedWorkload(
+        seed=seed * 31 + 7,
+        insert_ratio=scenario.pre_mix[0],
+        get_ratio=scenario.pre_mix[1],
+        exclude=lambda key: scenario.exclude_key(ctx, key),
+    )
+
+    inflight_fault: Optional[FaultInfo] = None
+    for i in range(n_pre + n_post):
+        ctx.op_index = i
+        ctx.clock.advance(OP_PERIOD)
+        if pmcriu is not None:
+            pmcriu.maybe_snapshot(ctx.clock.now)
+        if i == trigger_at:
+            scenario.trigger(ctx)
+            workload.insert_ratio, workload.get_ratio = scenario.post_mix
+        try:
+            scenario.apply_op(ctx, workload.next_op())
+        except Trap:
+            # the failure surfaced during regular traffic
+            inflight_fault = adapter.machine.last_fault
+            break
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    if inflight_fault is not None:
+        signature = FailureSignature.from_fault(inflight_fault)
+        detector.history.append(signature)
+        outcome = RunOutcome(ok=False, fault=inflight_fault, signature=signature)
+    else:
+        outcome = detector.observe(adapter.machine, lambda: scenario.manifest(ctx))
+        if outcome.ok and monitor is not None:
+            violation = monitor.check()
+            if violation is not None:
+                outcome = RunOutcome(ok=False, violation=violation)
+    if outcome.ok:
+        return result  # the fault did not manifest with this seed
+    result.manifested = True
+    result.detection_fault = outcome.fault
+    result.detection_violation = outcome.violation
+
+    # invariant / checksum detectability at failure time (Table 7, §6.6)
+    try:
+        result.invariant_violations = list(adapter.consistency_violations())
+    except Trap:
+        result.invariant_violations = ["invariant check crashed on corrupt state"]
+    if checksum is not None:
+        result.checksum_hits = len(checksum.verify())
+        checksum.detach()
+
+    items_before = _safe_count(adapter)
+    if detect_only:
+        return result
+
+    # ------------------------------------------------------------------
+    # hard-fault confirmation: restart and watch it recur
+    # ------------------------------------------------------------------
+    adapter.restart()
+    confirm = detector.observe(
+        adapter.machine, lambda: (adapter.recover(), scenario.manifest(ctx))
+    )
+    if confirm.ok and monitor is not None:
+        violation = monitor.check()
+        confirm = (
+            RunOutcome(ok=False, violation=violation)
+            if violation is not None
+            else confirm
+        )
+    recurs = not confirm.ok
+    if confirm.signature is not None and outcome.signature is not None:
+        result.confirmed_hard = detector.is_potential_hard_failure(confirm.signature)
+    else:
+        result.confirmed_hard = recurs
+
+    # ------------------------------------------------------------------
+    # mitigation
+    # ------------------------------------------------------------------
+    mclock = SimClock()
+    delay = ReexecDelay(seed=seed * 13 + 5)
+    reexec = _make_reexec(ctx, scenario, detector, monitor)
+
+    if solution in ("arthas", "arthas-rb"):
+        run = _mitigate_arthas(
+            ctx, scenario, outcome, reexec, mclock, delay,
+            rollback=(solution == "arthas-rb"), batch_size=batch_size,
+        )
+    elif solution == "pmcriu":
+        assert pmcriu is not None
+        mres = pmcriu.mitigate(
+            reexec, clock=mclock, reexec_delay=delay,
+            timeout_seconds=MITIGATION_TIMEOUT,
+        )
+        run = _to_run(solution, mres, adapter)
+    else:  # arckpt
+        arckpt = ArCkpt(adapter.ckpt.log, adapter.pool, adapter.allocator)
+        mres = arckpt.mitigate(
+            reexec, clock=mclock, reexec_delay=delay,
+            timeout_seconds=MITIGATION_TIMEOUT,
+        )
+        run = _to_run(solution, mres, adapter)
+
+    run.items_before = items_before
+    run.items_after = _safe_count(adapter)
+
+    # ------------------------------------------------------------------
+    # post-recovery consistency (Table 4)
+    # ------------------------------------------------------------------
+    if run.recovered and consistency_probe:
+        violations = _consistency_suite(ctx, scenario, seed)
+        run.violations = violations
+        run.consistent = not violations
+    result.mitigation = run
+    return result
+
+
+# ----------------------------------------------------------------------
+def _safe_count(adapter) -> int:
+    try:
+        return adapter.count_items()
+    except Trap:  # pragma: no cover - count is a plain field read
+        return 0
+
+
+def _make_reexec(ctx, scenario, detector, monitor) -> Callable[[], RunOutcome]:
+    adapter = ctx.adapter
+
+    def reexec() -> RunOutcome:
+        adapter.restart()
+
+        def action() -> None:
+            adapter.recover()
+            scenario.verify(ctx)
+
+        try:
+            out = detector.observe(adapter.machine, action)
+        except AssertionError as exc:
+            # host-side symptom checks (wrong value, unexpected result)
+            # fail the re-execution without a guest fault instruction
+            return RunOutcome(ok=False, violation=str(exc) or "symptom check failed")
+        if not out.ok:
+            return out
+        if monitor is not None:
+            violation = monitor.check()
+            if violation is not None:
+                return RunOutcome(ok=False, violation=violation)
+        return out
+
+    return reexec
+
+
+def _mitigate_arthas(
+    ctx,
+    scenario,
+    outcome: RunOutcome,
+    reexec,
+    mclock: SimClock,
+    delay,
+    rollback: bool,
+    batch_size: int,
+) -> MitigationRun:
+    adapter = ctx.adapter
+    solution = "arthas-rb" if rollback else "arthas"
+    log = adapter.ckpt.log
+
+    if scenario.kind == "leak":
+        return _mitigate_leak_arthas(ctx, scenario, reexec, mclock, delay, solution)
+
+    assert outcome.fault is not None, "trap/dataloss faults carry a fault instr"
+    server = ReactorServer(adapter.module, analysis=adapter.analysis)
+
+    def forward_seqs(cand: Candidate) -> Set[int]:
+        if cand.slice_iid < 0:
+            return set()
+        seqs: Set[int] = set()
+        for dep_iid, _kind in adapter.analysis.pdg.dependents_of(cand.slice_iid):
+            if not adapter.analysis.pm.is_pm_instr(dep_iid):
+                continue
+            guid = adapter.guid_map.guid_of(dep_iid)
+            if guid is None:
+                continue
+            for addr in adapter.trace.addresses_for_guid(guid):
+                seqs.update(log.update_seqs_for_address(addr))
+        return seqs
+
+    # The detector/reactor cycle may run several rounds: mitigating one
+    # bad state can expose a different failure (e.g. restoring wrongly
+    # deleted items exposes the bad flush timestamp that deleted them),
+    # which the detector reports and the reactor re-slices from.
+    run = MitigationRun(solution=solution, recovered=False)
+    seen_faults = {outcome.fault.iid}
+    #: per-mode attempt budget; exhausting it in purge mode triggers the
+    #: paper's fallback to conservative rollback (Section 4.5)
+    purge_max_attempts = 60
+
+    def _rounds(start_iid: int, use_rollback: bool, max_attempts: int) -> None:
+        fault_iid = start_iid
+        first_round = run.attempts == 0
+        for _round in range(4):
+            # order candidates by slice distance from the fault (the
+            # paper's "more complex policy function"), capped to bound
+            # collateral reverts
+            plan = server.compute_plan(
+                adapter.guid_map, adapter.trace, log, fault_iid,
+                policy=distance_policy(max_distance=8),
+            )
+            reverter = Reverter(
+                log,
+                adapter.pool,
+                adapter.allocator,
+                reexec=reexec,
+                clock=mclock,
+                reexec_delay=delay,
+                timeout_seconds=MITIGATION_TIMEOUT,
+                forward_seqs_fn=forward_seqs,
+                max_attempts=max(1, max_attempts - run.attempts),
+                known_faults=seen_faults,
+                enable_divergence_repair=first_round and _round == 0,
+            )
+            if use_rollback:
+                mres = reverter.mitigate_rollback(plan)
+            else:
+                mres = reverter.mitigate_purge(plan, batch_size=batch_size)
+            run.attempts += mres.attempts
+            run.reverted_updates += mres.discarded_updates
+            run.plan_candidates = max(run.plan_candidates, len(plan.candidates))
+            run.slice_size = max(run.slice_size, plan.slice_size)
+            run.pm_slice_size = max(run.pm_slice_size, plan.pm_slice_size)
+            run.slicing_seconds += plan.slicing_seconds
+            run.timed_out = mres.timed_out
+            run.notes = mres.notes
+            if mres.recovered:
+                run.recovered = True
+                return
+            if mclock.now > MITIGATION_TIMEOUT or run.attempts >= max_attempts:
+                return
+            last = mres.last_outcome
+            if last is None or last.fault is None or last.fault.iid in seen_faults:
+                return  # same failure keeps recurring in this mode
+            fault_iid = last.fault.iid
+            seen_faults.add(fault_iid)
+
+    _rounds(outcome.fault.iid, rollback, purge_max_attempts if not rollback else 200)
+    if not run.recovered and not rollback and mclock.now < MITIGATION_TIMEOUT:
+        # paper Section 4.5: purge exhausted its tries; switch to rollback
+        run.notes = (run.notes + "; " if run.notes else "") + "fell back to rollback"
+        _rounds(outcome.fault.iid, True, 200)
+    run.duration_seconds = mclock.now
+    run.total_updates = log.total_updates
+    return run
+
+
+def _mitigate_leak_arthas(
+    ctx, scenario, reexec, mclock: SimClock, delay, solution: str
+) -> MitigationRun:
+    """Section 4.7: diff checkpoint-log liveness against recovery accesses."""
+    adapter = ctx.adapter
+    log = adapter.ckpt.log
+    adapter.restart()
+    recovery_addresses = adapter.recover()
+    leaked = find_leaked_objects(
+        log, adapter.allocator, recovery_addresses, protect={adapter.root}
+    )
+    freed = mitigate_leak(adapter.allocator, leaked, confirm=True)
+    mclock.advance(delay())
+    out = reexec()
+    run = MitigationRun(
+        solution=solution,
+        recovered=out.ok,
+        attempts=1,
+        duration_seconds=mclock.now,
+        reverted_updates=0,  # only leaked objects are discarded
+        total_updates=log.total_updates,
+        leaked_blocks=len(leaked),
+        notes=f"freed {freed} leaked words in {len(leaked)} blocks",
+    )
+    return run
+
+
+def _to_run(solution: str, mres: MitigationResult, adapter) -> MitigationRun:
+    total = adapter.ckpt.log.total_updates if adapter.ckpt is not None else 0
+    return MitigationRun(
+        solution=solution,
+        recovered=mres.recovered,
+        attempts=mres.attempts,
+        duration_seconds=mres.duration_seconds,
+        reverted_updates=mres.discarded_updates,
+        total_updates=total,
+        timed_out=mres.timed_out,
+        notes=mres.notes,
+    )
+
+
+def _consistency_suite(ctx, scenario, seed: int) -> List[str]:
+    """Post-recovery semantic checks: probe traffic + domain invariants."""
+    adapter = ctx.adapter
+    violations: List[str] = []
+    probe = MixedWorkload(
+        seed=seed * 97 + 3,
+        insert_ratio=0.5,
+        get_ratio=0.3,
+        exclude=lambda key: scenario.exclude_key(ctx, key),
+    )
+    probe._next_key = 9_000_000  # fresh keyspace, away from poisoned buckets
+    try:
+        for op in probe.ops(40):
+            scenario.apply_op(ctx, op)
+    except Trap:
+        fault = adapter.machine.last_fault
+        violations.append(f"probe traffic crashed: {fault.kind} ({fault.message})")
+        return violations
+    try:
+        violations.extend(adapter.consistency_violations())
+        violations.extend(scenario.extra_consistency(ctx))
+    except Trap:
+        fault = adapter.machine.last_fault
+        violations.append(f"consistency check crashed: {fault.kind}")
+    return violations

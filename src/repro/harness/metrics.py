@@ -1,0 +1,49 @@
+"""Small aggregation helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for an empty sequence)."""
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    mid = len(vals) // 2
+    if len(vals) % 2:
+        return float(vals[mid])
+    return (vals[mid - 1] + vals[mid]) / 2.0
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean over the positive values."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def fraction(hits: int, total: int) -> str:
+    """Render a success fraction the way the paper's tables do."""
+    if total <= 0:
+        return "n/a"
+    if hits == total:
+        return "Y"
+    if hits == 0:
+        return "N"
+    return f"{hits}/{total}"
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a percentage with the given precision."""
+    return f"{value:.{digits}f}%"

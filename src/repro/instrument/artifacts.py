@@ -1,0 +1,106 @@
+"""On-disk persistence of Arthas's runtime artifacts.
+
+The paper's workflow runs across processes: the analyzer writes *metadata
+files* (the static PDG and GUID mappings), the instrumented system
+asynchronously flushes the *PM trace file*, the checkpoint library keeps
+its log in a *persistent checkpoint region*, and the reactor server reads
+all three after a failure (Figure 4's ❶-❼).  This module provides those
+file formats so the reactor can run against a dead process's artifacts:
+
+* :func:`save_trace` / :func:`load_trace` — the ``<GUID, address>`` trace.
+* :func:`save_checkpoint_log` / :func:`load_checkpoint_log` — the full
+  versioned log (entries, versions, events, transaction marks, links).
+* (GUID metadata already round-trips via
+  :meth:`repro.instrument.guids.GuidMap.save`/``load``.)
+
+JSON is used throughout: these are laptop-scale artifacts and diffable
+files beat binary blobs in a reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checkpoint.log import CheckpointEntry, CheckpointLog, LogEvent, Version
+from repro.instrument.tracer import PMTrace
+
+
+# ----------------------------------------------------------------------
+# trace files
+# ----------------------------------------------------------------------
+def save_trace(trace: PMTrace, path: str) -> int:
+    """Flush and write the trace; returns the number of records saved."""
+    trace.flush()
+    with open(path, "w") as f:
+        json.dump({"records": [[g, a] for g, a in trace.records]}, f)
+    return len(trace.records)
+
+
+def load_trace(path: str, flush_threshold: int = 256) -> PMTrace:
+    with open(path) as f:
+        data = json.load(f)
+    trace = PMTrace(flush_threshold=flush_threshold)
+    for guid, addr in data["records"]:
+        trace.record(guid, addr)
+    trace.flush()
+    return trace
+
+
+# ----------------------------------------------------------------------
+# checkpoint region
+# ----------------------------------------------------------------------
+def _version_to_json(v: Version) -> dict:
+    return {"seq": v.seq, "data": list(v.data), "size": v.size, "tx": v.tx_id}
+
+
+def _entry_to_json(e: CheckpointEntry) -> dict:
+    return {
+        "address": e.address,
+        "max_versions": e.max_versions,
+        "total_versions": e.total_versions,
+        "old_entry": e.old_entry,
+        "new_entry": e.new_entry,
+        "versions": [_version_to_json(v) for v in e.versions],
+    }
+
+
+def save_checkpoint_log(log: CheckpointLog, path: str) -> None:
+    payload = {
+        "max_versions": log.max_versions,
+        "next_seq": log._next_seq,
+        "total_updates": log.total_updates,
+        "entries": [_entry_to_json(e) for e in log.entries.values()],
+        "events": [
+            {"seq": ev.seq, "kind": ev.kind, "addr": ev.addr,
+             "nwords": ev.nwords, "tx": ev.tx_id}
+            for ev in log.events
+        ],
+        "tx_members": {str(k): v for k, v in log.tx_members.items()},
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f)
+
+
+def load_checkpoint_log(path: str) -> CheckpointLog:
+    with open(path) as f:
+        payload = json.load(f)
+    log = CheckpointLog(max_versions=payload["max_versions"])
+    log._next_seq = payload["next_seq"]
+    log.total_updates = payload["total_updates"]
+    for ej in payload["entries"]:
+        entry = CheckpointEntry(ej["address"], ej["max_versions"])
+        for vj in ej["versions"]:
+            entry.versions.append(
+                Version(vj["seq"], tuple(vj["data"]), vj["size"], vj["tx"])
+            )
+        entry.total_versions = ej["total_versions"]
+        entry.old_entry = ej["old_entry"]
+        entry.new_entry = ej["new_entry"]
+        log.entries[entry.address] = entry
+    for evj in payload["events"]:
+        event = LogEvent(evj["seq"], evj["kind"], evj["addr"],
+                         evj["nwords"], evj["tx"])
+        log.events.append(event)
+        log._event_by_seq[event.seq] = event
+    log.tx_members = {int(k): list(v) for k, v in payload["tx_members"].items()}
+    return log

@@ -1,0 +1,62 @@
+"""Runtime PM-address trace (paper Section 4.1, ❹).
+
+Records ``<GUID, pmem_address>`` pairs as the instrumented program runs.
+Like the paper's implementation, records are buffered in memory and
+flushed to the durable trace asynchronously; whatever is still buffered
+when the process crashes is lost (``crash()``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+
+class PMTrace:
+    """Buffered trace of (guid, address) records."""
+
+    def __init__(self, flush_threshold: int = 256):
+        self.flush_threshold = flush_threshold
+        #: durable (flushed) records, in emission order
+        self.records: List[Tuple[str, int]] = []
+        self._buffer: List[Tuple[str, int]] = []
+        # indexes over *flushed* records
+        self._addrs_by_guid: Dict[str, Set[int]] = {}
+        self._guids_by_addr: Dict[int, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, guid: str, addr: int) -> None:
+        """Append one record; flushes automatically past the threshold."""
+        self._buffer.append((guid, addr))
+        if len(self._buffer) >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered records to the durable trace."""
+        for guid, addr in self._buffer:
+            self.records.append((guid, addr))
+            self._addrs_by_guid.setdefault(guid, set()).add(addr)
+            self._guids_by_addr.setdefault(addr, set()).add(guid)
+        self._buffer.clear()
+
+    def crash(self) -> None:
+        """Drop un-flushed records, as a real crash would."""
+        self._buffer.clear()
+
+    # ------------------------------------------------------------------
+    def addresses_for_guid(self, guid: str) -> Set[int]:
+        """PM addresses the instruction with ``guid`` touched (flushed records)."""
+        return self._addrs_by_guid.get(guid, set())
+
+    def guids_for_address(self, addr: int) -> Set[str]:
+        """GUIDs of instructions observed touching ``addr``."""
+        return self._guids_by_addr.get(addr, set())
+
+    def addresses_for_guids(self, guids) -> Set[int]:
+        """Union of traced addresses over several GUIDs."""
+        out: Set[int] = set()
+        for guid in guids:
+            out |= self.addresses_for_guid(guid)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records) + len(self._buffer)

@@ -1,0 +1,37 @@
+"""PMLang: the compiler/IR/interpreter substrate.
+
+The paper's Arthas operates on LLVM IR produced from C systems.  This
+package provides the equivalent stack for the reproduction:
+
+* :mod:`repro.lang.ir` — a register-based intermediate representation
+  (functions, basic blocks, instructions) playing the role of LLVM IR.
+* :mod:`repro.lang.compiler` — compiles **PMLang**, a restricted subset of
+  Python syntax (parsed with :mod:`ast`), into the IR.  The five target PM
+  systems under :mod:`repro.systems` are written in PMLang.
+* :mod:`repro.lang.interp` — a virtual machine executing the IR against a
+  simulated PM pool and volatile heap, with cooperative threads, fault
+  injection points, step budgets (hang detection) and tracing hooks.
+* :mod:`repro.lang.printer` — human-readable IR dumps.
+
+All values are 64-bit-style integers; pointers are integer addresses.
+Persistent addresses live at ``PM_BASE`` and above, volatile addresses
+below — so every analysis and runtime check can classify a pointer by its
+value range.
+"""
+
+from repro.lang.compiler import compile_module
+from repro.lang.interp import FaultInfo, Machine
+from repro.lang.ir import BasicBlock, Function, Instr, Module
+from repro.lang.printer import format_function, format_module
+
+__all__ = [
+    "compile_module",
+    "Machine",
+    "FaultInfo",
+    "Module",
+    "Function",
+    "BasicBlock",
+    "Instr",
+    "format_module",
+    "format_function",
+]

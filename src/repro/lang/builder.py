@@ -1,0 +1,158 @@
+"""Programmatic IR construction, for users who bypass PMLang.
+
+The compiler is the normal front end, but hand-built IR is useful for
+analysis unit tests and for embedding generated code.  The builder keeps
+a cursor (current function + block), allocates temporaries, and finalizes
+into a validated :class:`~repro.lang.ir.Module`.
+
+Example::
+
+    b = IRBuilder("m")
+    b.function("double", ["x"])
+    t = b.binop("*", "x", b.const(2))
+    b.ret(t)
+    module = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import CompileError
+from repro.lang.ir import BasicBlock, Function, Instr, Module
+
+
+class IRBuilder:
+    """Fluent construction of one module."""
+
+    def __init__(self, name: str, structs: Optional[Dict[str, Sequence[str]]] = None):
+        self.module = Module(name)
+        for sname, fields in (structs or {}).items():
+            self.module.declare_struct(sname, fields)
+        self._func: Optional[Function] = None
+        self._block: Optional[BasicBlock] = None
+        self._temp = 0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def function(self, name: str, params: Sequence[str]) -> "IRBuilder":
+        """Start a new function; the cursor moves to its entry block."""
+        self._func = Function(name, params)
+        self.module.add_function(self._func)
+        self._block = self._func.add_block("entry")
+        return self
+
+    def block(self, label: str) -> "IRBuilder":
+        """Start a new block in the current function and move there."""
+        self._require_function()
+        self._block = self._func.add_block(label)
+        return self
+
+    def at(self, label: str) -> "IRBuilder":
+        """Move the cursor to an existing block."""
+        self._require_function()
+        self._block = self._func.block(label)
+        return self
+
+    # ------------------------------------------------------------------
+    # instructions (each returns the destination register, if any)
+    # ------------------------------------------------------------------
+    def const(self, value: int) -> str:
+        return self._emit("const", (value,))
+
+    def mov(self, dst: str, src: str) -> str:
+        self._append(Instr("mov", dst, (src,)))
+        return dst
+
+    def binop(self, op: str, a: str, b: str) -> str:
+        return self._emit("binop", (op, a, b))
+
+    def unop(self, op: str, a: str) -> str:
+        return self._emit("unop", (op, a))
+
+    def gep(self, base: str, offset: int = 0, index: Optional[str] = None,
+            scale: int = 1) -> str:
+        return self._emit("gep", (base, offset, index, scale))
+
+    def field_addr(self, base: str, fieldname: str) -> str:
+        offset = self.module.field_offsets.get(fieldname)
+        if offset is None:
+            raise CompileError(f"unknown struct field {fieldname!r}")
+        return self.gep(base, offset, None, 0)
+
+    def load(self, ptr: str) -> str:
+        return self._emit("load", (ptr,))
+
+    def store(self, ptr: str, value: str) -> None:
+        self._append(Instr("store", None, (ptr, value)))
+
+    def alloc(self, size: str, space: str = "pm") -> str:
+        return self._emit("alloc", (size, space))
+
+    def free(self, ptr: str, space: str = "pm") -> None:
+        self._append(Instr("free", None, (ptr, space)))
+
+    def call(self, fname: str, args: Sequence[str], want_result: bool = True
+             ) -> Optional[str]:
+        dst = self._fresh() if want_result else None
+        self._append(Instr("call", dst, (fname, tuple(args))))
+        return dst
+
+    def persist(self, ptr: str, nwords: str) -> None:
+        self._append(Instr("persist", None, (ptr, nwords)))
+
+    def setroot(self, ptr: str) -> None:
+        self._append(Instr("setroot", None, (ptr,)))
+
+    def getroot(self) -> str:
+        return self._emit("getroot", ())
+
+    def assert_true(self, cond: str, message: str) -> None:
+        self._append(Instr("assert", None, (cond, message)))
+
+    def ret(self, src: Optional[str] = None) -> None:
+        self._append(Instr("ret", None, (src,)))
+
+    def br(self, label: str) -> None:
+        self._append(Instr("br", None, (label,)))
+
+    def cbr(self, cond: str, then_label: str, else_label: str) -> None:
+        self._append(Instr("cbr", None, (cond, then_label, else_label)))
+
+    def nop(self) -> None:
+        self._append(Instr("nop", None, ()))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Module:
+        """Finalize: assigns instruction ids and validates the module."""
+        if self._built:
+            raise CompileError("module already built")
+        self.module.finalize()
+        self.module.validate_calls()
+        self._built = True
+        return self.module
+
+    # ------------------------------------------------------------------
+    def _require_function(self) -> None:
+        if self._func is None:
+            raise CompileError("no current function; call .function() first")
+
+    def _fresh(self) -> str:
+        self._temp += 1
+        return f"%b{self._temp}"
+
+    def _append(self, instr: Instr) -> None:
+        self._require_function()
+        assert self._block is not None
+        if self._block.terminator is not None:
+            raise CompileError(
+                f"block {self._block.label} already terminated"
+            )
+        self._block.append(instr)
+
+    def _emit(self, op: str, args) -> str:
+        dst = self._fresh()
+        self._append(Instr(op, dst, args))
+        return dst

@@ -1,0 +1,516 @@
+"""The PMLang compiler: a restricted Python-syntax subset to IR.
+
+PMLang exists because Arthas needs a *compiled program* to analyze — the
+paper instruments LLVM IR produced from C.  PMLang programs are written as
+Python source (parsed with :mod:`ast`) so the five target systems stay
+readable, but they compile to the register IR of :mod:`repro.lang.ir` and
+run on the interpreter, not on CPython.
+
+Supported subset
+----------------
+* module level: ``def`` function definitions only
+* statements: assignment to names / ``p.field`` / ``a[i]``, augmented
+  assignment, ``if``/``elif``/``else``, ``while`` (with ``break`` /
+  ``continue``), ``for i in range(...)``, ``return``, ``assert``, ``pass``,
+  expression-statement calls
+* expressions: integer literals, ``True``/``False``, names, arithmetic /
+  bitwise / comparison operators, ``and`` / ``or`` (short-circuit),
+  ``not`` / unary ``-`` / ``~``, calls to user functions and intrinsics,
+  field access ``p.field``, indexing ``a[i]``, ``sizeof("struct")``
+
+Everything is a 64-bit-style integer.  Struct field names are
+module-global (declared via the ``structs`` argument), so ``p.it_key``
+needs no type annotations — the style C programs with prefixed field names
+use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CompileError
+from repro.lang import intrinsics
+from repro.lang.ir import BINOPS, BasicBlock, Function, Instr, Module
+
+_BINOP_NAMES = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+    ast.BitAnd: "&",
+    ast.BitOr: "|",
+    ast.BitXor: "^",
+}
+
+_CMP_NAMES = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+}
+
+
+def compile_module(
+    name: str,
+    source: str,
+    structs: Optional[Dict[str, Sequence[str]]] = None,
+) -> Module:
+    """Compile PMLang ``source`` into a finalized :class:`Module`.
+
+    Parameters
+    ----------
+    name:
+        Module name (used in reports and metadata files).
+    source:
+        PMLang source text.
+    structs:
+        Mapping of struct name to ordered field names.  Field names are
+        module-global; ``sizeof("name")`` resolves against this table.
+    """
+    module = Module(name)
+    for sname, fields in (structs or {}).items():
+        module.declare_struct(sname, fields)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise CompileError(f"{name}: syntax error: {exc}") from exc
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom, ast.Expr)):
+            # allow docstrings and no-op imports at module level
+            if isinstance(node, ast.Expr) and not isinstance(
+                node.value, ast.Constant
+            ):
+                raise CompileError(f"{name}: unsupported module-level expression")
+            continue
+        if not isinstance(node, ast.FunctionDef):
+            raise CompileError(
+                f"{name}: only function definitions allowed at module "
+                f"level, got {type(node).__name__} at line {node.lineno}"
+            )
+        _FunctionCompiler(module, node).compile()
+    module.finalize()
+    module.validate_calls()
+    return module
+
+
+class _FunctionCompiler:
+    """Compiles one ``ast.FunctionDef`` into a :class:`Function`."""
+
+    def __init__(self, module: Module, node: ast.FunctionDef):
+        self.module = module
+        self.node = node
+        if node.args.posonlyargs or node.args.kwonlyargs or node.args.vararg:
+            raise CompileError(f"{node.name}: only plain positional parameters")
+        params = [a.arg for a in node.args.args]
+        self.func = Function(node.name, params)
+        self.block: BasicBlock = self.func.add_block("entry")
+        self._temp = 0
+        self._label = 0
+        #: stack of (continue_label, break_label) for loops
+        self._loops: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _fresh_temp(self) -> str:
+        self._temp += 1
+        return f"%t{self._temp}"
+
+    def _fresh_label(self, hint: str) -> str:
+        self._label += 1
+        return f"{hint}{self._label}"
+
+    def _new_block(self, label: str) -> BasicBlock:
+        self.block = self.func.add_block(label)
+        return self.block
+
+    def _append(self, op: str, dst: Optional[str], args: Sequence, node) -> Instr:
+        line = getattr(node, "lineno", 0)
+        return self.block.append(Instr(op, dst, args, src_line=line))
+
+    def _terminated(self) -> bool:
+        return self.block.terminator is not None
+
+    def _err(self, node, message: str) -> CompileError:
+        return CompileError(
+            f"{self.func.name}: line {getattr(node, 'lineno', '?')}: {message}"
+        )
+
+    # ------------------------------------------------------------------
+    def compile(self) -> Function:
+        self.module.add_function(self.func)
+        body = self.node.body
+        # drop a leading docstring
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]
+        self._stmts(body)
+        if not self._terminated():
+            self._append("ret", None, (None,), self.node)
+        return self.func
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _stmts(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self._terminated():
+                # dead code after return/break/continue — skip quietly,
+                # matching how C compilers drop unreachable code
+                return
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            src = None if stmt.value is None else self._expr(stmt.value)
+            self._append("ret", None, (src,), stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise self._err(stmt, "break outside loop")
+            self._append("br", None, (self._loops[-1][1],), stmt)
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise self._err(stmt, "continue outside loop")
+            self._append("br", None, (self._loops[-1][0],), stmt)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        elif isinstance(stmt, ast.Assert):
+            cond = self._expr(stmt.test)
+            msg = "assertion failed"
+            if stmt.msg is not None:
+                msg = self._const_str(stmt.msg, "assert message")
+            self._append("assert", None, (cond, msg), stmt)
+        elif isinstance(stmt, ast.Expr):
+            if not isinstance(stmt.value, ast.Call):
+                raise self._err(stmt, "bare expressions must be calls")
+            self._call(stmt.value, want_result=False)
+        else:
+            raise self._err(stmt, f"unsupported statement {type(stmt).__name__}")
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self._err(stmt, "multiple assignment targets unsupported")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            src = self._expr(stmt.value)
+            self._append("mov", target.id, (src,), stmt)
+        elif isinstance(target, ast.Attribute):
+            ptr = self._field_addr(target)
+            src = self._expr(stmt.value)
+            self._append("store", None, (ptr, src), stmt)
+        elif isinstance(target, ast.Subscript):
+            ptr = self._index_addr(target)
+            src = self._expr(stmt.value)
+            self._append("store", None, (ptr, src), stmt)
+        else:
+            raise self._err(stmt, f"bad assignment target {type(target).__name__}")
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        op = _BINOP_NAMES.get(type(stmt.op))
+        if op is None:
+            raise self._err(stmt, f"unsupported augmented op {type(stmt.op).__name__}")
+        if isinstance(stmt.target, ast.Name):
+            rhs = self._expr(stmt.value)
+            dst = self._fresh_temp()
+            self._append("binop", dst, (op, stmt.target.id, rhs), stmt)
+            self._append("mov", stmt.target.id, (dst,), stmt)
+        elif isinstance(stmt.target, (ast.Attribute, ast.Subscript)):
+            if isinstance(stmt.target, ast.Attribute):
+                ptr = self._field_addr(stmt.target)
+            else:
+                ptr = self._index_addr(stmt.target)
+            cur = self._fresh_temp()
+            self._append("load", cur, (ptr,), stmt)
+            rhs = self._expr(stmt.value)
+            result = self._fresh_temp()
+            self._append("binop", result, (op, cur, rhs), stmt)
+            self._append("store", None, (ptr, result), stmt)
+        else:
+            raise self._err(stmt, "bad augmented-assignment target")
+
+    def _if(self, stmt: ast.If) -> None:
+        cond = self._expr(stmt.test)
+        then_label = self._fresh_label("then")
+        else_label = self._fresh_label("else") if stmt.orelse else None
+        join_label = self._fresh_label("join")
+        self._append(
+            "cbr", None, (cond, then_label, else_label or join_label), stmt
+        )
+        self._new_block(then_label)
+        self._stmts(stmt.body)
+        then_falls_through = not self._terminated()
+        if then_falls_through:
+            self._append("br", None, (join_label,), stmt)
+        if else_label is not None:
+            self._new_block(else_label)
+            self._stmts(stmt.orelse)
+            else_falls_through = not self._terminated()
+            if else_falls_through:
+                self._append("br", None, (join_label,), stmt)
+        else:
+            # without an else arm, the cbr itself targets the join block
+            else_falls_through = True
+        # always create the join block: later statements continue there
+        self._new_block(join_label)
+        if not (then_falls_through or else_falls_through):
+            # both arms returned; join is unreachable but needs a terminator
+            self._append("ret", None, (None,), stmt)
+
+    def _while(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self._err(stmt, "while-else unsupported")
+        head = self._fresh_label("loop")
+        body_label = self._fresh_label("body")
+        exit_label = self._fresh_label("exit")
+        self._append("br", None, (head,), stmt)
+        self._new_block(head)
+        cond = self._expr(stmt.test)
+        self._append("cbr", None, (cond, body_label, exit_label), stmt)
+        self._new_block(body_label)
+        self._loops.append((head, exit_label))
+        self._stmts(stmt.body)
+        self._loops.pop()
+        if not self._terminated():
+            self._append("br", None, (head,), stmt)
+        self._new_block(exit_label)
+
+    def _for(self, stmt: ast.For) -> None:
+        """``for i in range(...)`` sugar, lowered to a while loop."""
+        if stmt.orelse:
+            raise self._err(stmt, "for-else unsupported")
+        if not (
+            isinstance(stmt.iter, ast.Call)
+            and isinstance(stmt.iter.func, ast.Name)
+            and stmt.iter.func.id == "range"
+        ):
+            raise self._err(stmt, "for loops must iterate over range(...)")
+        if not isinstance(stmt.target, ast.Name):
+            raise self._err(stmt, "for target must be a simple name")
+        rargs = stmt.iter.args
+        if len(rargs) == 1:
+            start_reg = self._const(0, stmt)
+            stop_reg = self._expr(rargs[0])
+            step_reg = self._const(1, stmt)
+        elif len(rargs) == 2:
+            start_reg = self._expr(rargs[0])
+            stop_reg = self._expr(rargs[1])
+            step_reg = self._const(1, stmt)
+        elif len(rargs) == 3:
+            start_reg = self._expr(rargs[0])
+            stop_reg = self._expr(rargs[1])
+            step_reg = self._expr(rargs[2])
+        else:
+            raise self._err(stmt, "range takes 1-3 arguments")
+        ivar = stmt.target.id
+        # hoist the bound/step into stable temps so the body can't clobber
+        stop_t = self._fresh_temp()
+        self._append("mov", stop_t, (stop_reg,), stmt)
+        step_t = self._fresh_temp()
+        self._append("mov", step_t, (step_reg,), stmt)
+        self._append("mov", ivar, (start_reg,), stmt)
+        head = self._fresh_label("loop")
+        body_label = self._fresh_label("body")
+        inc_label = self._fresh_label("inc")
+        exit_label = self._fresh_label("exit")
+        self._append("br", None, (head,), stmt)
+        self._new_block(head)
+        cond = self._fresh_temp()
+        self._append("binop", cond, ("<", ivar, stop_t), stmt)
+        self._append("cbr", None, (cond, body_label, exit_label), stmt)
+        self._new_block(body_label)
+        self._loops.append((inc_label, exit_label))
+        self._stmts(stmt.body)
+        self._loops.pop()
+        if not self._terminated():
+            self._append("br", None, (inc_label,), stmt)
+        self._new_block(inc_label)
+        nxt = self._fresh_temp()
+        self._append("binop", nxt, ("+", ivar, step_t), stmt)
+        self._append("mov", ivar, (nxt,), stmt)
+        self._append("br", None, (head,), stmt)
+        self._new_block(exit_label)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _const(self, value: int, node) -> str:
+        dst = self._fresh_temp()
+        self._append("const", dst, (value,), node)
+        return dst
+
+    def _const_str(self, node: ast.expr, what: str) -> str:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        raise self._err(node, f"{what} must be a string literal")
+
+    def _expr(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Constant):
+            if node.value is True:
+                return self._const(1, node)
+            if node.value is False:
+                return self._const(0, node)
+            if isinstance(node.value, int):
+                return self._const(node.value, node)
+            raise self._err(node, f"unsupported literal {node.value!r}")
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.BinOp):
+            op = _BINOP_NAMES.get(type(node.op))
+            if op is None or op not in BINOPS:
+                raise self._err(node, f"unsupported operator {type(node.op).__name__}")
+            a = self._expr(node.left)
+            b = self._expr(node.right)
+            dst = self._fresh_temp()
+            self._append("binop", dst, (op, a, b), node)
+            return dst
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self._err(node, "chained comparisons unsupported")
+            op = _CMP_NAMES.get(type(node.ops[0]))
+            if op is None:
+                raise self._err(node, "unsupported comparison")
+            a = self._expr(node.left)
+            b = self._expr(node.comparators[0])
+            dst = self._fresh_temp()
+            self._append("binop", dst, (op, a, b), node)
+            return dst
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node)
+        if isinstance(node, ast.UnaryOp):
+            opname = {
+                ast.Not: "not",
+                ast.USub: "neg",
+                ast.Invert: "bnot",
+            }.get(type(node.op))
+            if opname is None:
+                raise self._err(node, "unsupported unary operator")
+            a = self._expr(node.operand)
+            dst = self._fresh_temp()
+            self._append("unop", dst, (opname, a), node)
+            return dst
+        if isinstance(node, ast.Call):
+            reg = self._call(node, want_result=True)
+            assert reg is not None
+            return reg
+        if isinstance(node, ast.Attribute):
+            ptr = self._field_addr(node)
+            dst = self._fresh_temp()
+            self._append("load", dst, (ptr,), node)
+            return dst
+        if isinstance(node, ast.Subscript):
+            ptr = self._index_addr(node)
+            dst = self._fresh_temp()
+            self._append("load", dst, (ptr,), node)
+            return dst
+        raise self._err(node, f"unsupported expression {type(node).__name__}")
+
+    def _boolop(self, node: ast.BoolOp) -> str:
+        """Short-circuit ``and`` / ``or`` with branches."""
+        is_and = isinstance(node.op, ast.And)
+        result = self._fresh_temp()
+        join = self._fresh_label("bjoin")
+        values = node.values
+        for i, value in enumerate(values):
+            v = self._expr(value)
+            self._append("mov", result, (v,), node)
+            if i == len(values) - 1:
+                self._append("br", None, (join,), node)
+            else:
+                more = self._fresh_label("bnext")
+                if is_and:
+                    self._append("cbr", None, (result, more, join), node)
+                else:
+                    self._append("cbr", None, (result, join, more), node)
+                self._new_block(more)
+        self._new_block(join)
+        return result
+
+    def _field_addr(self, node: ast.Attribute) -> str:
+        offset = self.module.field_offsets.get(node.attr)
+        if offset is None:
+            raise self._err(node, f"unknown struct field {node.attr!r}")
+        base = self._expr(node.value)
+        dst = self._fresh_temp()
+        self._append("gep", dst, (base, offset, None, 0), node)
+        return dst
+
+    def _index_addr(self, node: ast.Subscript) -> str:
+        base = self._expr(node.value)
+        index = self._expr(node.slice)
+        dst = self._fresh_temp()
+        self._append("gep", dst, (base, 0, index, 1), node)
+        return dst
+
+    def _call(self, node: ast.Call, want_result: bool) -> Optional[str]:
+        if node.keywords:
+            raise self._err(node, "keyword arguments unsupported")
+        if not isinstance(node.func, ast.Name):
+            raise self._err(node, "only direct calls by name are supported")
+        fname = node.func.id
+        if fname == "sizeof":
+            if len(node.args) != 1:
+                raise self._err(node, "sizeof takes one struct name")
+            sname = self._const_str(node.args[0], "sizeof argument")
+            size = self.module.struct_sizes.get(sname)
+            if size is None:
+                raise self._err(node, f"unknown struct {sname!r}")
+            return self._const(size, node)
+        if fname == "addr":
+            if len(node.args) != 1:
+                raise self._err(node, "addr takes one field or index expression")
+            target = node.args[0]
+            if isinstance(target, ast.Attribute):
+                return self._field_addr(target)
+            if isinstance(target, ast.Subscript):
+                return self._index_addr(target)
+            raise self._err(node, "addr argument must be p.field or a[i]")
+        if fname == "range":
+            raise self._err(node, "range only valid as a for-loop iterator")
+        sp = intrinsics.spec(fname)
+        if sp is not None:
+            return self._intrinsic_call(node, fname, sp, want_result)
+        # user-function call; arity validated after compilation
+        args = [self._expr(a) for a in node.args]
+        dst = self._fresh_temp() if want_result else None
+        self._append("call", dst, (fname, tuple(args)), node)
+        return dst
+
+    def _intrinsic_call(
+        self, node: ast.Call, fname: str, sp, want_result: bool
+    ) -> Optional[str]:
+        if len(node.args) != sp.arity:
+            raise self._err(
+                node, f"{fname} takes {sp.arity} argument(s), got {len(node.args)}"
+            )
+        operands: List = []
+        for i, arg in enumerate(node.args):
+            if i in sp.str_args:
+                operands.append(self._const_str(arg, f"{fname} argument {i}"))
+            else:
+                operands.append(self._expr(arg))
+        operands.extend(sp.extra)
+        dst = self._fresh_temp() if sp.has_dst else None
+        if want_result and not sp.has_dst:
+            raise self._err(node, f"{fname} returns no value")
+        self._append(sp.op, dst, tuple(operands), node)
+        return dst

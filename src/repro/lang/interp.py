@@ -1,0 +1,599 @@
+"""The PMLang virtual machine.
+
+Executes :class:`~repro.lang.ir.Module` code against a simulated PM pool
+(:mod:`repro.pmem`) and a volatile heap.  The machine provides everything
+the Arthas toolchain needs from a runtime:
+
+* **Trap semantics** — null/wild dereferences raise
+  :class:`~repro.errors.SegfaultTrap`, ``panic()`` raises
+  :class:`~repro.errors.PanicTrap`, a step-budget overrun raises
+  :class:`~repro.errors.HangTrap` (how deadlocks/infinite loops are
+  detected), PM exhaustion raises :class:`~repro.errors.OutOfPMTrap`.
+  Every trap records a :class:`FaultInfo` with the faulting instruction —
+  the input the Arthas reactor slices from.
+* **Crash/restart** — ``crash()`` drops all volatile state and every PM
+  store that was not persisted; a fresh machine over the same pool models
+  a restart.
+* **Fault injection** — host callbacks keyed by instruction id run before
+  an instruction executes; they can flip persisted bits (hardware faults)
+  or raise :class:`~repro.errors.InjectedCrash` (untimely crashes).
+* **Cooperative threads** — ``spawn`` creates background threads;
+  ``call_concurrent`` interleaves threads with a seeded preemptive
+  scheduler, which is how the race-condition faults are triggered
+  deterministically.
+* **Tracing hooks** — instructions carrying a GUID report their runtime PM
+  address to an attached tracer (the paper's ``<GUID, pmem_address>``
+  trace).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    AllocationError,
+    ArithmeticTrap,
+    AssertTrap,
+    HangTrap,
+    OutOfSpaceError,
+    PanicTrap,
+    PoolError,
+    ReproError,
+    SegfaultTrap,
+    Trap,
+)
+from repro.lang.ir import Function, Instr, Module
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PM_BASE, PMPool
+from repro.pmem.tx import TransactionManager
+
+#: base of the volatile heap; well below PM_BASE so ranges never overlap
+VOL_BASE = 0x0010_0000
+
+#: default per-call step budget (exceeding it means hang/deadlock)
+DEFAULT_STEP_BUDGET = 400_000
+
+#: ops whose pointer operand is traced before execution
+_TRACE_PTR_OPS = frozenset({"load", "store", "persist", "flush", "txadd", "free"})
+
+#: ops whose result (a fresh PM address) is traced after execution
+_TRACE_DST_OPS = frozenset({"alloc", "realloc", "getroot", "gep"})
+
+InjectionFn = Callable[["Machine", "Thread", Instr], None]
+TraceFn = Callable[[str, int], None]
+
+
+@dataclass
+class FaultInfo:
+    """Where and how the guest program failed."""
+
+    iid: int
+    kind: str
+    message: str
+    location: str
+    stack: List[str] = field(default_factory=list)
+
+    def signature(self) -> Tuple[str, int, str]:
+        """(kind, fault iid, top-of-stack) — the detector's symptom key."""
+        top = self.stack[-1] if self.stack else ""
+        return (self.kind, self.iid, top)
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("func", "regs", "block", "index", "ret_dst")
+
+    def __init__(self, func: Function, regs: Dict[str, int], ret_dst: Optional[str]):
+        self.func = func
+        self.regs = regs
+        self.block = func.entry
+        self.index = 0
+        self.ret_dst = ret_dst
+
+
+class Thread:
+    """A guest thread: a stack of frames plus completion state."""
+
+    _next_tid = 0
+
+    def __init__(self, name: str):
+        Thread._next_tid += 1
+        self.tid = Thread._next_tid
+        self.name = name
+        self.frames: List[Frame] = []
+        self.done = False
+        self.result: Optional[int] = None
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+    def stack_locations(self) -> List[str]:
+        return [f"{fr.func.name}:{fr.block}:{fr.index}" for fr in self.frames]
+
+
+class Machine:
+    """Interpreter for one module over one PM pool."""
+
+    def __init__(
+        self,
+        module: Module,
+        pool: Optional[PMPool] = None,
+        allocator: Optional[PMAllocator] = None,
+        txman: Optional[TransactionManager] = None,
+        pool_size: int = 1 << 16,
+        seed: int = 0,
+        step_budget: int = DEFAULT_STEP_BUDGET,
+    ):
+        self.module = module
+        self.pool = pool if pool is not None else PMPool(pool_size, name=module.name)
+        self.allocator = allocator if allocator is not None else PMAllocator(self.pool)
+        self.txman = txman if txman is not None else TransactionManager(self.pool)
+        self.step_budget = step_budget
+        self.rng = random.Random(seed)
+        # volatile heap
+        self.vmem: Dict[int, int] = {}
+        self._vol_next = VOL_BASE
+        self._vol_valid: set[int] = set()
+        self._vol_allocs: Dict[int, int] = {}
+        # background threads awaiting scheduling
+        self._background: List[Thread] = []
+        # host integration
+        self.injections: Dict[int, List[InjectionFn]] = {}
+        self.tracer: Optional[TraceFn] = None
+        #: optional dynamic-dependence recorder (repro.analysis.dynslice);
+        #: called before every instruction when attached — expensive, so
+        #: only diagnostic runs enable it
+        self.dep_recorder = None
+        self.emitted: Dict[str, List[int]] = {}
+        self.last_fault: Optional[FaultInfo] = None
+        # counters for the overhead model
+        self.steps_executed = 0
+        self.calls_executed = 0
+
+    # ------------------------------------------------------------------
+    # host API
+    # ------------------------------------------------------------------
+    def call(self, fname: str, *args: int, step_budget: Optional[int] = None) -> Optional[int]:
+        """Run ``fname(*args)`` on a fresh main thread to completion.
+
+        Background threads previously spawned get interleaved at yield
+        points.  Raises the guest's :class:`Trap` on failure, after
+        recording :attr:`last_fault`.
+        """
+        thread = self._make_thread(fname, args, name=f"main:{fname}")
+        self.calls_executed += 1
+        budget = step_budget if step_budget is not None else self.step_budget
+        self._run([thread] + self._background, budget, preempt=False)
+        self._background = [t for t in self._background if not t.done]
+        return thread.result
+
+    def spawn(self, fname: str, *args: int, name: Optional[str] = None) -> Thread:
+        """Create a background thread; it runs during future calls."""
+        thread = self._make_thread(fname, args, name=name or f"bg:{fname}")
+        self._background.append(thread)
+        return thread
+
+    def run_background(self, step_budget: Optional[int] = None) -> None:
+        """Run pending background threads to completion."""
+        if not self._background:
+            return
+        budget = step_budget if step_budget is not None else self.step_budget
+        self._run(list(self._background), budget, preempt=False)
+        self._background = [t for t in self._background if not t.done]
+
+    def pending_background(self) -> int:
+        """Number of spawned threads that have not finished."""
+        return len(self._background)
+
+    def call_concurrent(
+        self,
+        calls: Sequence[Tuple[str, Sequence[int]]],
+        step_budget: Optional[int] = None,
+        quantum: Tuple[int, int] = (1, 12),
+    ) -> List[Optional[int]]:
+        """Run several calls as interleaved threads (seeded preemption).
+
+        This is the vehicle for reproducing race-condition faults: the
+        scheduler switches threads every ``rng.randint(*quantum)`` steps,
+        so a given seed yields a deterministic interleaving.
+        """
+        threads = [
+            self._make_thread(fname, args, name=f"conc{i}:{fname}")
+            for i, (fname, args) in enumerate(calls)
+        ]
+        self.calls_executed += len(threads)
+        budget = step_budget if step_budget is not None else self.step_budget
+        self._run(threads, budget, preempt=True, quantum=quantum)
+        return [t.result for t in threads]
+
+    def crash(self) -> None:
+        """Simulate process death + power loss: volatile state vanishes."""
+        self.pool.crash()
+        self.txman.reset()
+        self.vmem.clear()
+        self._vol_valid.clear()
+        self._vol_allocs.clear()
+        self._vol_next = VOL_BASE
+        self._background = []
+
+    def add_injection(self, iid: int, fn: InjectionFn) -> None:
+        """Run ``fn`` before every execution of instruction ``iid``."""
+        self.injections.setdefault(iid, []).append(fn)
+
+    def clear_injections(self) -> None:
+        self.injections.clear()
+
+    def emitted_value(self, key: str, default: int = 0) -> int:
+        """Last value the guest emitted under ``key``."""
+        values = self.emitted.get(key)
+        return values[-1] if values else default
+
+    # ------------------------------------------------------------------
+    # execution core
+    # ------------------------------------------------------------------
+    def _make_thread(self, fname: str, args: Sequence[int], name: str) -> Thread:
+        func = self.module.functions.get(fname)
+        if func is None:
+            raise ReproError(f"no such function {fname!r} in module {self.module.name}")
+        if len(args) != len(func.params):
+            raise ReproError(
+                f"{fname} takes {len(func.params)} args, got {len(args)}"
+            )
+        thread = Thread(name)
+        regs = dict(zip(func.params, (int(a) for a in args)))
+        thread.frames.append(Frame(func, regs, None))
+        return thread
+
+    def _run(
+        self,
+        threads: List[Thread],
+        step_budget: int,
+        preempt: bool,
+        quantum: Tuple[int, int] = (1, 12),
+    ) -> None:
+        live = [t for t in threads if not t.done]
+        if not live:
+            return
+        current = 0
+        slice_left = self.rng.randint(*quantum) if preempt else 1 << 60
+        steps = 0
+        while live:
+            thread = live[current % len(live)]
+            try:
+                switch = self._step(thread)
+            except Trap as trap:
+                self._record_fault(trap, thread)
+                raise
+            steps += 1
+            self.steps_executed += 1
+            if steps > step_budget:
+                trap = HangTrap(
+                    f"step budget {step_budget} exceeded in {thread.name}",
+                    location=self._current_location(thread),
+                )
+                self._record_fault(trap, thread)
+                raise trap
+            if thread.done:
+                live = [t for t in live if not t.done]
+                current = 0
+                slice_left = self.rng.randint(*quantum) if preempt else 1 << 60
+                continue
+            if preempt:
+                slice_left -= 1
+            if switch or slice_left <= 0:
+                current = (current + 1) % len(live)
+                slice_left = self.rng.randint(*quantum) if preempt else 1 << 60
+
+    def _current_instr(self, thread: Thread) -> Instr:
+        frame = thread.frame
+        return frame.func.blocks[frame.block].instrs[frame.index]
+
+    def _current_location(self, thread: Thread) -> str:
+        try:
+            return self._current_instr(thread).location()
+        except Exception:  # pragma: no cover - defensive
+            return thread.name
+
+    def _record_fault(self, trap: Trap, thread: Thread) -> None:
+        try:
+            instr = self._current_instr(thread)
+            iid, location = instr.iid, instr.location()
+        except Exception:  # pragma: no cover - defensive
+            iid, location = -1, thread.name
+        self.last_fault = FaultInfo(
+            iid=iid,
+            kind=trap.kind,
+            message=str(trap),
+            location=trap.location or location,
+            stack=thread.stack_locations(),
+        )
+
+    # ------------------------------------------------------------------
+    def _step(self, thread: Thread) -> bool:
+        """Execute one instruction; returns True if the thread yields."""
+        frame = thread.frame
+        instr = frame.func.blocks[frame.block].instrs[frame.index]
+
+        for fn in self.injections.get(instr.iid, ()):
+            fn(self, thread, instr)
+
+        if self.dep_recorder is not None:
+            self.dep_recorder.on_instr(self, thread, instr)
+
+        if instr.guid is not None and self.tracer is not None:
+            self._trace_before(instr, frame)
+
+        op = instr.op
+        regs = frame.regs
+        advance = True
+        switch = False
+
+        if op == "const":
+            regs[instr.dst] = instr.args[0]
+        elif op == "mov":
+            regs[instr.dst] = self._reg(frame, instr.args[0], instr)
+        elif op == "binop":
+            regs[instr.dst] = self._binop(frame, instr)
+        elif op == "unop":
+            opname, a = instr.args
+            v = self._reg(frame, a, instr)
+            if opname == "neg":
+                regs[instr.dst] = -v
+            elif opname == "not":
+                regs[instr.dst] = 0 if v else 1
+            else:  # bnot
+                regs[instr.dst] = ~v
+        elif op == "gep":
+            base_r, offset, index_r, scale = instr.args
+            base = self._reg(frame, base_r, instr)
+            addr = base + offset
+            if index_r is not None:
+                addr += self._reg(frame, index_r, instr) * scale
+            regs[instr.dst] = addr
+        elif op == "load":
+            addr = self._reg(frame, instr.args[0], instr)
+            regs[instr.dst] = self._load(addr, instr)
+        elif op == "store":
+            addr = self._reg(frame, instr.args[0], instr)
+            value = self._reg(frame, instr.args[1], instr)
+            self._store(addr, value, instr)
+        elif op == "alloc":
+            size_r, space = instr.args
+            size = self._reg(frame, size_r, instr)
+            regs[instr.dst] = self._alloc(size, space, instr)
+        elif op == "free":
+            addr = self._reg(frame, instr.args[0], instr)
+            self._free(addr, instr.args[1], instr)
+        elif op == "realloc":
+            addr = self._reg(frame, instr.args[0], instr)
+            size = self._reg(frame, instr.args[1], instr)
+            try:
+                regs[instr.dst] = self.allocator.realloc(
+                    addr, size, site=instr.guid or str(instr.iid)
+                )
+            except OutOfSpaceError as exc:
+                raise self._oom(exc, instr) from exc
+            except AllocationError as exc:
+                raise SegfaultTrap(str(exc), location=instr.location()) from exc
+        elif op == "call":
+            fname, arg_regs = instr.args
+            func = self.module.functions[fname]
+            values = [self._reg(frame, r, instr) for r in arg_regs]
+            frame.index += 1  # return to the next instruction
+            advance = False
+            new_regs = dict(zip(func.params, values))
+            thread.frames.append(Frame(func, new_regs, instr.dst))
+        elif op == "ret":
+            src = instr.args[0]
+            value = self._reg(frame, src, instr) if src is not None else 0
+            thread.frames.pop()
+            advance = False
+            if not thread.frames:
+                thread.done = True
+                thread.result = value
+            elif frame.ret_dst is not None:
+                thread.frame.regs[frame.ret_dst] = value
+        elif op == "br":
+            frame.block = instr.args[0]
+            frame.index = 0
+            advance = False
+        elif op == "cbr":
+            cond = self._reg(frame, instr.args[0], instr)
+            frame.block = instr.args[1] if cond else instr.args[2]
+            frame.index = 0
+            advance = False
+        elif op in ("persist", "flush"):
+            addr = self._reg(frame, instr.args[0], instr)
+            nwords = self._reg(frame, instr.args[1], instr)
+            try:
+                if op == "persist":
+                    self.pool.persist(addr, nwords)
+                else:
+                    self.pool.flush(addr, nwords)
+            except PoolError as exc:
+                raise SegfaultTrap(str(exc), location=instr.location()) from exc
+        elif op == "fence":
+            self.pool.fence()
+        elif op == "txbegin":
+            self.txman.begin(ctx=thread.tid)
+        elif op == "txadd":
+            addr = self._reg(frame, instr.args[0], instr)
+            nwords = self._reg(frame, instr.args[1], instr)
+            try:
+                self.txman.add(addr, nwords, ctx=thread.tid)
+            except PoolError as exc:
+                raise SegfaultTrap(str(exc), location=instr.location()) from exc
+        elif op == "txcommit":
+            self.txman.commit(ctx=thread.tid)
+        elif op == "txabort":
+            self.txman.abort(ctx=thread.tid)
+        elif op == "setroot":
+            self.allocator.set_root(self._reg(frame, instr.args[0], instr))
+        elif op == "getroot":
+            regs[instr.dst] = self.allocator.root()
+        elif op == "assert":
+            cond = self._reg(frame, instr.args[0], instr)
+            if not cond:
+                raise AssertTrap(instr.args[1], location=instr.location())
+        elif op == "panic":
+            raise PanicTrap(instr.args[0], location=instr.location())
+        elif op == "emit":
+            key, value_r = instr.args
+            self.emitted.setdefault(key, []).append(self._reg(frame, value_r, instr))
+        elif op == "yield":
+            switch = True
+        elif op == "nop":
+            pass
+        else:  # pragma: no cover - unreachable with a valid module
+            raise ReproError(f"unknown opcode {op!r}")
+
+        if instr.guid is not None and self.tracer is not None:
+            self._trace_after(instr, frame)
+
+        if advance:
+            frame.index += 1
+        return switch
+
+    # ------------------------------------------------------------------
+    # operand and memory helpers
+    # ------------------------------------------------------------------
+    def _reg(self, frame: Frame, name: str, instr: Instr) -> int:
+        try:
+            return frame.regs[name]
+        except KeyError:
+            raise ReproError(
+                f"read of unset register {name!r} at {instr.location()} "
+                f"(PMLang variable used before assignment)"
+            ) from None
+
+    def _binop(self, frame: Frame, instr: Instr) -> int:
+        opname, a_r, b_r = instr.args
+        a = self._reg(frame, a_r, instr)
+        b = self._reg(frame, b_r, instr)
+        if opname == "+":
+            return a + b
+        if opname == "-":
+            return a - b
+        if opname == "*":
+            return a * b
+        if opname == "//":
+            if b == 0:
+                raise ArithmeticTrap("division by zero", location=instr.location())
+            return a // b
+        if opname == "%":
+            if b == 0:
+                raise ArithmeticTrap("modulo by zero", location=instr.location())
+            return a % b
+        if opname == "<<":
+            return a << (b & 63)
+        if opname == ">>":
+            return a >> (b & 63)
+        if opname == "&":
+            return a & b
+        if opname == "|":
+            return a | b
+        if opname == "^":
+            return a ^ b
+        if opname == "==":
+            return 1 if a == b else 0
+        if opname == "!=":
+            return 1 if a != b else 0
+        if opname == "<":
+            return 1 if a < b else 0
+        if opname == "<=":
+            return 1 if a <= b else 0
+        if opname == ">":
+            return 1 if a > b else 0
+        if opname == ">=":
+            return 1 if a >= b else 0
+        raise ReproError(f"unknown binop {opname!r}")  # pragma: no cover
+
+    def _load(self, addr: int, instr: Instr) -> int:
+        if addr >= PM_BASE:
+            if not self.pool.contains(addr):
+                raise SegfaultTrap(
+                    f"PM load outside pool at {addr:#x}", location=instr.location()
+                )
+            return self.pool.read(addr)
+        if addr in self._vol_valid:
+            return self.vmem.get(addr, 0)
+        raise SegfaultTrap(
+            f"invalid load at {addr:#x}"
+            + (" (null dereference)" if addr == 0 else ""),
+            location=instr.location(),
+        )
+
+    def _store(self, addr: int, value: int, instr: Instr) -> None:
+        if addr >= PM_BASE:
+            if not self.pool.contains(addr):
+                raise SegfaultTrap(
+                    f"PM store outside pool at {addr:#x}", location=instr.location()
+                )
+            self.pool.write(addr, value)
+            return
+        if addr in self._vol_valid:
+            self.vmem[addr] = value
+            return
+        raise SegfaultTrap(
+            f"invalid store at {addr:#x}"
+            + (" (null dereference)" if addr == 0 else ""),
+            location=instr.location(),
+        )
+
+    def _alloc(self, size: int, space: str, instr: Instr) -> int:
+        if size <= 0:
+            raise SegfaultTrap(
+                f"allocation of non-positive size {size}", location=instr.location()
+            )
+        if space == "pm":
+            try:
+                return self.allocator.zalloc(size, site=instr.guid or str(instr.iid))
+            except OutOfSpaceError as exc:
+                raise self._oom(exc, instr) from exc
+        addr = self._vol_next
+        self._vol_next += size
+        self._vol_allocs[addr] = size
+        for a in range(addr, addr + size):
+            self._vol_valid.add(a)
+            self.vmem[a] = 0
+        return addr
+
+    def _free(self, addr: int, space: str, instr: Instr) -> None:
+        if space == "pm":
+            try:
+                self.allocator.free(addr)
+            except AllocationError as exc:
+                raise SegfaultTrap(str(exc), location=instr.location()) from exc
+            return
+        size = self._vol_allocs.pop(addr, None)
+        if size is None:
+            raise SegfaultTrap(
+                f"invalid volatile free at {addr:#x}", location=instr.location()
+            )
+        for a in range(addr, addr + size):
+            self._vol_valid.discard(a)
+            self.vmem.pop(a, None)
+
+    def _oom(self, exc: OutOfSpaceError, instr: Instr) -> Trap:
+        from repro.errors import OutOfPMTrap
+
+        return OutOfPMTrap(str(exc), location=instr.location())
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def _trace_before(self, instr: Instr, frame: Frame) -> None:
+        if instr.op in _TRACE_PTR_OPS:
+            addr = frame.regs.get(instr.args[0])
+            if addr is not None and addr >= PM_BASE:
+                self.tracer(instr.guid, addr)
+
+    def _trace_after(self, instr: Instr, frame: Frame) -> None:
+        if instr.op in _TRACE_DST_OPS and instr.dst is not None:
+            addr = frame.regs.get(instr.dst)
+            if addr is not None and addr >= PM_BASE:
+                self.tracer(instr.guid, addr)

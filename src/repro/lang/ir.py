@@ -1,0 +1,313 @@
+"""Register-based intermediate representation (the reproduction's LLVM IR).
+
+A :class:`Module` holds :class:`Function` objects; each function is a list
+of :class:`BasicBlock` objects ending in a terminator; blocks hold
+:class:`Instr` objects.  Registers are function-local string names; PMLang
+local variables compile to registers of the same name, compiler temporaries
+are ``%tN``.
+
+Instruction set
+---------------
+
+============  =============================  =======================================
+op            operands (``args``)            meaning
+============  =============================  =======================================
+const         (value,)                       dst = integer constant
+mov           (src,)                         dst = src
+binop         (op, a, b)                     dst = a <op> b  (arith/logic/compare)
+unop          (op, a)                        dst = <op> a    (neg, not, bnot)
+gep           (base, offset, index, scale)   dst = base + offset + index*scale
+load          (ptr,)                         dst = memory[ptr]
+store         (ptr, val)                     memory[ptr] = val
+alloc         (size, space)                  dst = allocate words ("pm" | "vol")
+free          (ptr, space)                   release an allocation
+realloc       (ptr, size)                    dst = resized PM block (contents move)
+call          (fname, [args])                dst = call user function
+ret           (src | None,)                  return
+br            (label,)                       unconditional branch
+cbr           (cond, tlabel, flabel)         conditional branch
+persist       (ptr, nwords)                  pmem_persist(ptr, nwords)
+flush         (ptr, nwords)                  pmem_flush (no ordering)
+fence         ()                             sfence / pmem_drain
+txbegin       ()                             begin transaction
+txadd         (ptr, nwords)                  add range to tx undo log
+txcommit      ()                             commit transaction
+txabort       ()                             abort transaction
+setroot       (ptr,)                         set pool root object
+getroot       ()                             dst = pool root object
+assert        (cond, msg)                    trap AssertTrap if cond == 0
+panic         (msg,)                         trap PanicTrap
+emit          (key, val)                     report a value to the host harness
+yield         ()                             cooperative thread yield point
+nop           ()                             no effect (injection anchor)
+============  =============================  =======================================
+
+``gep`` (named after LLVM's getelementptr) is the only address-arithmetic
+instruction; keeping field offsets as constants inside it is what makes the
+pointer analysis field-sensitive.  ``index`` may be ``None`` (plain field
+access) or a register (array indexing, which collapses to a
+field-insensitive summary in the points-to domain).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CompileError
+
+TERMINATORS = frozenset({"ret", "br", "cbr"})
+
+MEMORY_WRITE_OPS = frozenset({"store", "persist", "flush"})
+
+#: ops that may create a persistent pointer out of thin air
+PM_SOURCE_OPS = frozenset({"getroot"})
+
+BINOPS = frozenset(
+    {
+        "+",
+        "-",
+        "*",
+        "//",
+        "%",
+        "<<",
+        ">>",
+        "&",
+        "|",
+        "^",
+        "==",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+    }
+)
+
+UNOPS = frozenset({"neg", "not", "bnot"})
+
+
+class Instr:
+    """One IR instruction.
+
+    Attributes
+    ----------
+    iid:
+        Module-unique instruction id (assigned by :meth:`Module.finalize`).
+    op, dst, args:
+        Opcode, destination register (or None) and operand tuple.
+    func, block, index:
+        Position of the instruction after finalize.
+    src_line:
+        PMLang source line the instruction was compiled from, for reports.
+    guid:
+        Trace GUID assigned by the instrumentation pass (None before).
+    """
+
+    __slots__ = ("iid", "op", "dst", "args", "func", "block", "index", "src_line", "guid")
+
+    def __init__(
+        self,
+        op: str,
+        dst: Optional[str] = None,
+        args: Sequence = (),
+        src_line: int = 0,
+    ):
+        self.op = op
+        self.dst = dst
+        self.args = tuple(args)
+        self.src_line = src_line
+        self.iid = -1
+        self.func = ""
+        self.block = ""
+        self.index = -1
+        self.guid: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def uses(self) -> Tuple[str, ...]:
+        """Registers this instruction reads."""
+        op, a = self.op, self.args
+        if op == "mov":
+            return (a[0],)
+        if op == "binop":
+            return (a[1], a[2])
+        if op == "unop":
+            return (a[1],)
+        if op == "gep":
+            base, _off, index, _scale = a
+            return (base,) if index is None else (base, index)
+        if op == "load":
+            return (a[0],)
+        if op == "store":
+            return (a[0], a[1])
+        if op == "alloc":
+            return (a[0],)
+        if op == "free":
+            return (a[0],)
+        if op == "realloc":
+            return (a[0], a[1])
+        if op == "call":
+            return tuple(a[1])
+        if op == "ret":
+            return () if a[0] is None else (a[0],)
+        if op == "cbr":
+            return (a[0],)
+        if op in ("persist", "flush", "txadd"):
+            return (a[0], a[1])
+        if op == "setroot":
+            return (a[0],)
+        if op == "assert":
+            return (a[0],)
+        if op == "emit":
+            return (a[1],)
+        return ()
+
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    def location(self) -> str:
+        """Human-readable position, e.g. ``assoc_find:loop:3``."""
+        return f"{self.func}:{self.block}:{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dst = f"{self.dst} = " if self.dst else ""
+        return f"<Instr #{self.iid} {dst}{self.op} {self.args}>"
+
+
+class BasicBlock:
+    """A labelled straight-line sequence ending in a terminator."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: List[Instr] = []
+
+    def append(self, instr: Instr) -> Instr:
+        """Append an instruction to this block and return it."""
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator():
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> Tuple[str, ...]:
+        """Labels of the blocks this block's terminator can jump to."""
+        term = self.terminator
+        if term is None or term.op == "ret":
+            return ()
+        if term.op == "br":
+            return (term.args[0],)
+        return (term.args[1], term.args[2])
+
+
+class Function:
+    """A function: parameters plus basic blocks, entry block first."""
+
+    def __init__(self, name: str, params: Sequence[str]):
+        self.name = name
+        self.params = list(params)
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.block_order: List[str] = []
+
+    def add_block(self, label: str) -> BasicBlock:
+        """Create and register a new basic block in this function."""
+        if label in self.blocks:
+            raise CompileError(f"duplicate block {label} in {self.name}")
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        self.block_order.append(label)
+        return block
+
+    @property
+    def entry(self) -> str:
+        return self.block_order[0]
+
+    def instructions(self) -> Iterator[Instr]:
+        for label in self.block_order:
+            yield from self.blocks[label].instrs
+
+    def block(self, label: str) -> BasicBlock:
+        """Look up a basic block by label."""
+        return self.blocks[label]
+
+
+class Module:
+    """A compiled PMLang module: functions plus struct field layout."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        #: global field-name -> word offset map (PMLang structs)
+        self.field_offsets: Dict[str, int] = {}
+        #: struct name -> size in words
+        self.struct_sizes: Dict[str, int] = {}
+        self._instr_by_iid: Dict[int, Instr] = {}
+        self._finalized = False
+
+    def add_function(self, func: Function) -> Function:
+        """Register a function; duplicate names are rejected."""
+        if func.name in self.functions:
+            raise CompileError(f"duplicate function {func.name}")
+        self.functions[func.name] = func
+        return func
+
+    def declare_struct(self, name: str, fields: Sequence[str]) -> None:
+        """Register a struct layout; field names are module-global."""
+        for i, field in enumerate(fields):
+            if field in self.field_offsets and self.field_offsets[field] != i:
+                raise CompileError(
+                    f"field {field!r} of struct {name} conflicts with an "
+                    f"existing field at a different offset; PMLang field "
+                    f"names are module-global"
+                )
+            self.field_offsets[field] = i
+        self.struct_sizes[name] = len(fields)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Assign instruction ids and position metadata; validate blocks."""
+        counter = itertools.count()
+        self._instr_by_iid.clear()
+        for func in self.functions.values():
+            for label in func.block_order:
+                block = func.blocks[label]
+                if block.terminator is None:
+                    raise CompileError(
+                        f"block {func.name}:{label} lacks a terminator"
+                    )
+                for idx, instr in enumerate(block.instrs):
+                    instr.iid = next(counter)
+                    instr.func = func.name
+                    instr.block = label
+                    instr.index = idx
+                    self._instr_by_iid[instr.iid] = instr
+        self._finalized = True
+
+    def instructions(self) -> Iterator[Instr]:
+        for func in self.functions.values():
+            yield from func.instructions()
+
+    def instr(self, iid: int) -> Instr:
+        """Look up an instruction by its module-unique id."""
+        return self._instr_by_iid[iid]
+
+    def instr_count(self) -> int:
+        """Total instructions in the module (after finalize)."""
+        return len(self._instr_by_iid)
+
+    def validate_calls(self) -> None:
+        """Check every call targets a defined function with matching arity."""
+        for instr in self.instructions():
+            if instr.op != "call":
+                continue
+            fname, args = instr.args
+            target = self.functions.get(fname)
+            if target is None:
+                raise CompileError(f"call to undefined function {fname!r}")
+            if len(args) != len(target.params):
+                raise CompileError(
+                    f"call to {fname} with {len(args)} args, "
+                    f"expected {len(target.params)}"
+                )

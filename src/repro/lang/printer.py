@@ -1,0 +1,46 @@
+"""Human-readable IR dumps, used in docs, debugging and metadata files."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ir import Function, Instr, Module
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction, e.g. ``#12 %t3 = binop ('+', 'a', 'b')``."""
+    dst = f"{instr.dst} = " if instr.dst is not None else ""
+    guid = f" !guid={instr.guid}" if instr.guid is not None else ""
+    args = ", ".join(repr(a) for a in instr.args)
+    return f"#{instr.iid:<4} {dst}{instr.op} {args}{guid}"
+
+
+def format_function(func: Function) -> str:
+    """Render one function with labelled blocks."""
+    lines: List[str] = [f"def {func.name}({', '.join(func.params)}):"]
+    for label in func.block_order:
+        lines.append(f"  {label}:")
+        for instr in func.blocks[label].instrs:
+            lines.append(f"    {format_instr(instr)}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module: struct layouts plus every function."""
+    parts = [f"; module {module.name}"]
+    if module.struct_sizes:
+        for name, size in module.struct_sizes.items():
+            fields = [
+                f for f, off in sorted(module.field_offsets.items(), key=lambda x: x[1])
+                if _field_in_struct(module, name, f)
+            ]
+            parts.append(f"; struct {name} ({size} words): {', '.join(fields)}")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)
+
+
+def _field_in_struct(module: Module, struct: str, fieldname: str) -> bool:
+    # field names are module-global; attribute them to the first struct
+    # whose size covers their offset (best effort, printing only)
+    return module.field_offsets[fieldname] < module.struct_sizes[struct]

@@ -1,0 +1,35 @@
+"""Simulated persistent memory substrate.
+
+This package stands in for the Optane DIMMs + PMDK stack the paper runs on.
+It models the pieces that decide *which values survive a restart*:
+
+* :mod:`repro.pmem.pool` — a word-addressable persistent region with a CPU
+  write-buffer model: stores land in a volatile cache and only become
+  durable when flushed (``clwb``-style) and fenced (``sfence``-style).
+  ``crash()`` discards everything that was not yet durable.
+* :mod:`repro.pmem.allocator` — a pmemobj-like allocator with a pool root
+  object, ``zalloc``/``free``/``realloc`` and usage accounting.
+* :mod:`repro.pmem.tx` — undo-log transactions (libpmemobj style).
+* :mod:`repro.pmem.snapshot` — whole-pool snapshot/restore, the substrate
+  for the pmCRIU baseline.
+
+Addresses are word addresses (one word = 8 simulated bytes).  Address 0 is
+NULL.  Persistent addresses live at ``PM_BASE`` and above; the interpreter
+gives volatile memory a disjoint range below it.
+"""
+
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PM_BASE, WORDS_PER_LINE, PMPool
+from repro.pmem.snapshot import PoolSnapshot, restore_snapshot, take_snapshot
+from repro.pmem.tx import TransactionManager
+
+__all__ = [
+    "PM_BASE",
+    "WORDS_PER_LINE",
+    "PMPool",
+    "PMAllocator",
+    "TransactionManager",
+    "PoolSnapshot",
+    "take_snapshot",
+    "restore_snapshot",
+]

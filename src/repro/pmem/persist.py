@@ -1,0 +1,60 @@
+"""libpmem-style convenience API over :class:`~repro.pmem.pool.PMPool`.
+
+Mirrors the low-level half of PMDK that the paper's "native persistence"
+systems use (``pmem_map_file``, ``pmem_persist``, ``pmem_flush``,
+``pmem_drain``, ``pmem_memcpy_persist``).  Systems written with the
+high-level object API use :class:`~repro.pmem.allocator.PMAllocator` and
+:class:`~repro.pmem.tx.TransactionManager` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.errors import PoolError
+from repro.pmem.pool import PMPool
+
+#: registry of mapped pools by path, emulating the pmem_map_file namespace
+_mapped: Dict[str, PMPool] = {}
+
+
+def pmem_map_file(path: str, size_words: int) -> PMPool:
+    """Map (create or reopen) a persistent pool identified by ``path``."""
+    if path in _mapped:
+        pool = _mapped[path]
+        if pool.size_words != size_words:
+            raise PoolError(
+                f"pool {path} already mapped with size {pool.size_words}, "
+                f"requested {size_words}"
+            )
+        return pool
+    pool = PMPool(size_words, name=path)
+    _mapped[path] = pool
+    return pool
+
+
+def pmem_unmap(path: str) -> None:
+    """Remove a pool from the mapped-file registry (its data is dropped)."""
+    _mapped.pop(path, None)
+
+
+def pmem_persist(pool: PMPool, addr: int, nwords: int) -> None:
+    """Flush a range and fence — the fundamental durability primitive."""
+    pool.persist(addr, nwords)
+
+
+def pmem_flush(pool: PMPool, addr: int, nwords: int) -> None:
+    """Stage a range for writeback without ordering it (``clwb``)."""
+    pool.flush(addr, nwords)
+
+
+def pmem_drain(pool: PMPool) -> None:
+    """Order previously flushed ranges (``sfence``)."""
+    pool.fence()
+
+
+def pmem_memcpy_persist(pool: PMPool, dst: int, values: Iterable[int]) -> None:
+    """Copy words into PM and persist them in one call."""
+    values = list(values)
+    pool.write_range(dst, values)
+    pool.persist(dst, len(values))

@@ -1,0 +1,232 @@
+"""Word-addressable persistent memory pool with a CPU write-buffer model.
+
+The model follows how real PM behaves underneath ``clwb``/``sfence``:
+
+* ``write`` puts the value in a volatile write buffer (the "CPU cache").
+  Reads see the buffer first, so the running program always observes its
+  own latest stores.
+* ``flush`` stages the cache lines overlapping a range for writeback.
+* ``fence`` makes every staged line durable and fires persist hooks.
+* ``persist`` is the common ``flush + fence`` pair (``pmem_persist``).
+* ``crash`` throws away the write buffer and staged lines; only durable
+  words survive — exactly the semantics that turn soft faults into hard
+  faults when a bad value *was* persisted.
+
+Persist hooks are how the Arthas checkpoint manager observes the program's
+own persistence points (Section 4.2 of the paper): a hook fires once per
+explicitly persisted range, after the range is durable, with the durable
+values.  Hook granularity therefore matches the granularity the target
+program chose, which is what makes rollback consistent (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.errors import PoolError
+
+#: First valid persistent word address.  Everything below is volatile space
+#: (or NULL); keeping the ranges disjoint lets analyses and the leak
+#: detector classify an address by value alone.
+PM_BASE = 0x1000_0000
+
+#: Words per simulated cache line (8 words x 8 bytes = 64-byte lines).
+WORDS_PER_LINE = 8
+
+#: Type of a persist hook: (addr, nwords, values, tag) -> None.  ``tag`` is
+#: an opaque string the writer supplied (e.g. "persist", "tx-commit").
+PersistHook = Callable[[int, int, List[int], str], None]
+
+
+class PMPool:
+    """A simulated persistent memory pool.
+
+    Parameters
+    ----------
+    size_words:
+        Capacity of the pool in words.
+    name:
+        Pool name, used in error messages and snapshots.
+    """
+
+    def __init__(self, size_words: int, name: str = "pool"):
+        if size_words <= 0:
+            raise PoolError(f"pool size must be positive, got {size_words}")
+        self.name = name
+        self.size_words = size_words
+        #: durable words: addr -> value (sparse; absent means 0)
+        self._durable: Dict[int, int] = {}
+        #: CPU write buffer: addr -> value, not yet durable
+        self._cache: Dict[int, int] = {}
+        #: line indices staged by flush but not yet fenced
+        self._staged_lines: set[int] = set()
+        #: explicit (addr, nwords, tag) ranges awaiting the next fence
+        self._pending_ranges: List[Tuple[int, int, str]] = []
+        self._persist_hooks: List[PersistHook] = []
+        # statistics used by the overhead model and tests
+        self.stats = {
+            "writes": 0,
+            "reads": 0,
+            "flushes": 0,
+            "fences": 0,
+            "persisted_words": 0,
+            "crashes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        """Return True if ``addr`` is a valid word address in this pool."""
+        return PM_BASE <= addr < PM_BASE + self.size_words
+
+    def _check(self, addr: int, nwords: int = 1) -> None:
+        if nwords < 0:
+            raise PoolError(f"negative range length {nwords}")
+        if not self.contains(addr) or not (
+            nwords == 0 or self.contains(addr + nwords - 1)
+        ):
+            raise PoolError(
+                f"address range [{addr:#x}, +{nwords}) outside pool "
+                f"{self.name} [{PM_BASE:#x}, {PM_BASE + self.size_words:#x})"
+            )
+
+    @staticmethod
+    def line_of(addr: int) -> int:
+        """Return the cache-line index containing a word address."""
+        return addr // WORDS_PER_LINE
+
+    # ------------------------------------------------------------------
+    # load / store
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> int:
+        """Read one word, observing un-persisted stores (cache first)."""
+        self._check(addr)
+        self.stats["reads"] += 1
+        if addr in self._cache:
+            return self._cache[addr]
+        return self._durable.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        """Store one word into the write buffer (not yet durable)."""
+        self._check(addr)
+        self.stats["writes"] += 1
+        self._cache[addr] = value
+
+    def read_range(self, addr: int, nwords: int) -> List[int]:
+        """Read ``nwords`` consecutive words."""
+        self._check(addr, nwords)
+        return [self.read(addr + i) for i in range(nwords)]
+
+    def write_range(self, addr: int, values: Iterable[int]) -> None:
+        """Store consecutive words starting at ``addr``."""
+        values = list(values)
+        self._check(addr, len(values))
+        for i, v in enumerate(values):
+            self.write(addr + i, v)
+
+    def durable_read(self, addr: int) -> int:
+        """Read the *durable* value of a word (what a crash would keep)."""
+        self._check(addr)
+        return self._durable.get(addr, 0)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def flush(self, addr: int, nwords: int = 1, tag: str = "persist") -> None:
+        """Stage the cache lines overlapping ``[addr, addr+nwords)``.
+
+        Nothing is durable until the next :meth:`fence`.
+        """
+        if nwords == 0:
+            return
+        self._check(addr, nwords)
+        self.stats["flushes"] += 1
+        first = self.line_of(addr)
+        last = self.line_of(addr + nwords - 1)
+        self._staged_lines.update(range(first, last + 1))
+        self._pending_ranges.append((addr, nwords, tag))
+
+    def fence(self) -> None:
+        """Make all staged lines durable and fire persist hooks.
+
+        Hooks fire once per explicit flushed range, in flush order, after
+        durability — a hook never observes a value that could still be
+        lost in a crash.
+        """
+        self.stats["fences"] += 1
+        for line in self._staged_lines:
+            base = line * WORDS_PER_LINE
+            for addr in range(base, base + WORDS_PER_LINE):
+                if addr in self._cache:
+                    self._durable[addr] = self._cache.pop(addr)
+                    self.stats["persisted_words"] += 1
+        self._staged_lines.clear()
+        pending, self._pending_ranges = self._pending_ranges, []
+        for addr, nwords, tag in pending:
+            if self._persist_hooks:
+                values = [self._durable.get(addr + i, 0) for i in range(nwords)]
+                for hook in self._persist_hooks:
+                    hook(addr, nwords, values, tag)
+
+    def persist(self, addr: int, nwords: int = 1, tag: str = "persist") -> None:
+        """``pmem_persist`` equivalent: flush the range and fence."""
+        self.flush(addr, nwords, tag)
+        self.fence()
+
+    def add_persist_hook(self, hook: PersistHook) -> None:
+        """Register a hook observing every explicitly persisted range."""
+        self._persist_hooks.append(hook)
+
+    def remove_persist_hook(self, hook: PersistHook) -> None:
+        """Unregister a previously added persist hook."""
+        self._persist_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # crash / direct durable access
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate power loss: drop all state that is not durable."""
+        self.stats["crashes"] += 1
+        self._cache.clear()
+        self._staged_lines.clear()
+        self._pending_ranges.clear()
+
+    def dirty_words(self) -> int:
+        """Number of words sitting in the write buffer (would be lost)."""
+        return len(self._cache)
+
+    def durable_write(self, addr: int, value: int) -> None:
+        """Write directly to durable storage, bypassing the write buffer.
+
+        Used only by recovery machinery (reactor reversions, snapshot
+        restore) — never by the guest program.
+        """
+        self._check(addr)
+        if value == 0:
+            self._durable.pop(addr, None)
+        else:
+            self._durable[addr] = value
+
+    def discard_cached(self, addr: int, nwords: int = 1) -> None:
+        """Drop any buffered (un-persisted) stores in a range.
+
+        Used by the allocator (fresh blocks start from durable zeros) and
+        by transaction aborts.
+        """
+        self._check(addr, nwords)
+        for a in range(addr, addr + nwords):
+            self._cache.pop(a, None)
+
+    def durable_items(self) -> Dict[int, int]:
+        """A copy of all non-zero durable words (addr -> value)."""
+        return dict(self._durable)
+
+    def load_durable(self, items: Dict[int, int]) -> None:
+        """Replace the durable image wholesale (snapshot restore)."""
+        for addr in items:
+            self._check(addr)
+        self._durable = dict(items)
+        self._cache.clear()
+        self._staged_lines.clear()
+        self._pending_ranges.clear()

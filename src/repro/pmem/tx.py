@@ -1,0 +1,139 @@
+"""Undo-log transactions in the style of ``libpmemobj``.
+
+A transaction brackets a group of PM updates so that either all of them
+become durable (commit) or none do (abort).  The Arthas checkpoint manager
+registers begin/commit callbacks here: the paper's checkpoint log inserts
+special entries at transaction boundaries so the reactor can revert whole
+transactions together (Section 4.6).
+
+Semantics implemented:
+
+* Transactions are **per context** (PMDK transactions are per-thread):
+  every guest thread passes its id, so concurrent threads hold
+  independent transactions over the same pool.
+* ``add(addr, n)`` snapshots the current values of a range into the undo
+  log (``TX_ADD``).  A range must be added before it is modified for
+  abort to restore it — exactly the PMDK contract.
+* ``commit`` flushes every added range and fences once, then notifies
+  commit hooks.  Per-range persist hooks on the pool still fire (tagged
+  ``tx-commit``), which is how the checkpoint manager copies the undo-log
+  ranges into its own log, as described in the paper.
+* ``abort`` restores the undo snapshots durably and discards buffered
+  stores to those ranges.
+* Nested transactions within one context flatten into the outermost one
+  (libpmemobj style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import TransactionError
+from repro.pmem.pool import PMPool
+
+BeginHook = Callable[[int], None]
+CommitHook = Callable[[int, List[Tuple[int, int]]], None]
+
+
+@dataclass
+class _TxFrame:
+    """State of one context's in-flight transaction."""
+
+    tx_id: int
+    depth: int = 1
+    undo: List[Tuple[int, List[int]]] = field(default_factory=list)
+    ranges: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class TransactionManager:
+    """Per-pool transaction state, one independent frame per context."""
+
+    def __init__(self, pool: PMPool):
+        self.pool = pool
+        self._next_tx_id = 1
+        self._frames: Dict[int, _TxFrame] = {}
+        #: tx id whose commit is currently persisting (for persist hooks)
+        self._committing: int = 0
+        self._begin_hooks: List[BeginHook] = []
+        self._commit_hooks: List[CommitHook] = []
+
+    # ------------------------------------------------------------------
+    def add_begin_hook(self, hook: BeginHook) -> None:
+        """Register a callback fired when an outermost transaction begins."""
+        self._begin_hooks.append(hook)
+
+    def add_commit_hook(self, hook: CommitHook) -> None:
+        """Register a callback fired after an outermost commit persists."""
+        self._commit_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    def active(self, ctx: int = 0) -> bool:
+        """True when context ``ctx`` has a transaction in flight."""
+        return ctx in self._frames
+
+    @property
+    def current_tx_id(self) -> int:
+        """Id of the transaction currently committing (0 when none).
+
+        The checkpoint manager reads this from within persist hooks to tag
+        log entries with their transaction.
+        """
+        return self._committing
+
+    def begin(self, ctx: int = 0) -> int:
+        """Begin a transaction for ``ctx`` (nested begins flatten)."""
+        frame = self._frames.get(ctx)
+        if frame is not None:
+            frame.depth += 1
+            return frame.tx_id
+        tx_id = self._next_tx_id
+        self._next_tx_id += 1
+        self._frames[ctx] = _TxFrame(tx_id)
+        for hook in self._begin_hooks:
+            hook(tx_id)
+        return tx_id
+
+    def add(self, addr: int, nwords: int, ctx: int = 0) -> None:
+        """Snapshot a range into the undo log before modifying it."""
+        frame = self._frames.get(ctx)
+        if frame is None:
+            raise TransactionError("tx_add outside a transaction")
+        frame.undo.append((addr, self.pool.read_range(addr, nwords)))
+        frame.ranges.append((addr, nwords))
+
+    def commit(self, ctx: int = 0) -> None:
+        """Commit; only the outermost commit persists the added ranges."""
+        frame = self._frames.get(ctx)
+        if frame is None:
+            raise TransactionError("tx_commit outside a transaction")
+        frame.depth -= 1
+        if frame.depth > 0:
+            return
+        self._committing = frame.tx_id
+        try:
+            for addr, nwords in frame.ranges:
+                self.pool.flush(addr, nwords, tag="tx-commit")
+            self.pool.fence()
+        finally:
+            self._committing = 0
+        for hook in self._commit_hooks:
+            hook(frame.tx_id, list(frame.ranges))
+        del self._frames[ctx]
+
+    def abort(self, ctx: int = 0) -> None:
+        """Abort the whole (outermost) transaction, restoring undo values."""
+        frame = self._frames.get(ctx)
+        if frame is None:
+            raise TransactionError("tx_abort outside a transaction")
+        # restore in reverse order so overlapping adds unwind correctly
+        for addr, values in reversed(frame.undo):
+            self.pool.discard_cached(addr, len(values))
+            for i, v in enumerate(values):
+                self.pool.durable_write(addr + i, v)
+        del self._frames[ctx]
+
+    def reset(self) -> None:
+        """Forcibly clear all transaction state (after a crash)."""
+        self._frames.clear()
+        self._committing = 0

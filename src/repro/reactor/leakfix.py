@@ -1,0 +1,68 @@
+"""Persistent-memory-leak mitigation (paper Section 4.7).
+
+The idea: a PM program's recovery function retrieves (touches) all live
+PM data structures, while the checkpoint log knows about every PM object
+ever allocated and whether it was freed.  Objects that are (a) still
+allocated, (b) never freed in the log and (c) never accessed during the
+recovery run are leak suspects.  The reactor reports them and frees them
+only after confirmation.
+
+The recovery-access set comes from the PM-address trace recorded while
+the recovery function runs — our equivalent of bracketing it between the
+paper's ``pmem_recover_begin``/``pmem_recover_end`` annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.checkpoint.log import CheckpointLog
+from repro.errors import AllocationError
+from repro.pmem.allocator import PMAllocator
+
+
+def find_leaked_objects(
+    log: CheckpointLog,
+    allocator: PMAllocator,
+    recovery_addresses: Set[int],
+    protect: Iterable[int] = (),
+) -> Dict[int, int]:
+    """Return addr -> nwords of suspected leaked PM blocks.
+
+    ``recovery_addresses`` are the PM addresses the instrumented recovery
+    run touched; ``protect`` lists block addresses that must never be
+    reported (e.g. the root object).
+    """
+    protected = set(protect)
+    leaked: Dict[int, int] = {}
+    for addr, nwords in log.live_unfreed_allocs().items():
+        if addr in protected:
+            continue
+        if not allocator.is_allocated(addr):
+            continue
+        touched = any(a in recovery_addresses for a in range(addr, addr + nwords))
+        if not touched:
+            leaked[addr] = nwords
+    return leaked
+
+
+def mitigate_leak(
+    allocator: PMAllocator,
+    leaked: Dict[int, int],
+    confirm: bool = True,
+) -> int:
+    """Free confirmed leaked blocks; returns the number of words freed.
+
+    ``confirm=False`` models the operator declining the reactor's
+    suggestion — nothing is freed.
+    """
+    if not confirm:
+        return 0
+    freed_words = 0
+    for addr, nwords in leaked.items():
+        try:
+            allocator.free(addr)
+            freed_words += nwords
+        except AllocationError:  # pragma: no cover - racing free
+            continue
+    return freed_words

@@ -1,0 +1,533 @@
+"""Reversion execution: purge and rollback strategies (Section 4.4-4.6).
+
+Both strategies walk the plan's candidate list, revert PM state, and call
+a re-execution script after each reversion to check whether the failure
+still recurs:
+
+* **purge** reverts *only* the selected checkpoint entries (expanded to
+  their enclosing transactions), then runs a second pass purging
+  forward-dependent updates for consistency.  Minimal data loss, small
+  risk of semantic inconsistency.
+* **rollback** reverts the selected entry *and every log event with a
+  higher sequence number* — value updates restored to their last version
+  before the cut, frees un-freed, allocations released.  Conservative:
+  strictly respects time order.
+
+Reversions write durable words directly (they model the reactor patching
+the pool file offline), so they never re-enter the checkpoint hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.checkpoint.log import CheckpointLog
+from repro.detector.monitor import RunOutcome
+from repro.errors import AllocationError
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PMPool
+from repro.reactor.plan import Candidate, ReversionPlan
+
+ReexecFn = Callable[[], RunOutcome]
+ForwardSeqsFn = Callable[[Candidate], Set[int]]
+
+
+class _NullClock:
+    """Fallback clock when the caller does not supply one."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@dataclass
+class MitigationResult:
+    """Outcome of one mitigation run."""
+
+    recovered: bool
+    mode: str
+    attempts: int = 0
+    reverted_seqs: List[int] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    aborted_empty_plan: bool = False
+    timed_out: bool = False
+    notes: str = ""
+    #: outcome of the last re-execution (None if none ran); a different
+    #: fault than the one being mitigated starts a new detector/reactor
+    #: round in the harness
+    last_outcome: Optional[RunOutcome] = None
+
+    @property
+    def discarded_updates(self) -> int:
+        """Unique checkpoint updates reverted (the data-loss numerator)."""
+        return len(set(self.reverted_seqs))
+
+
+class Reverter:
+    """Executes reversion plans against one pool + checkpoint log."""
+
+    def __init__(
+        self,
+        log: CheckpointLog,
+        pool: PMPool,
+        allocator: PMAllocator,
+        reexec: ReexecFn,
+        clock=None,
+        reexec_delay: Callable[[], float] = lambda: 4.0,
+        revert_cost: float = 0.002,
+        max_versions: int = 3,
+        max_attempts: int = 200,
+        timeout_seconds: float = 600.0,
+        forward_seqs_fn: Optional[ForwardSeqsFn] = None,
+        known_faults: Optional[Set[int]] = None,
+        enable_divergence_repair: bool = True,
+    ):
+        self.log = log
+        self.pool = pool
+        self.allocator = allocator
+        self.reexec = reexec
+        self.clock = clock if clock is not None else _NullClock()
+        self.reexec_delay = reexec_delay
+        self.revert_cost = revert_cost
+        self.max_versions = max_versions
+        self.max_attempts = max_attempts
+        self.timeout_seconds = timeout_seconds
+        self.forward_seqs_fn = forward_seqs_fn
+        #: fault iids already being mitigated; a re-execution failing with
+        #: a fault *outside* this set ends the strategy early so the
+        #: caller can re-slice from the new fault (detector/reactor cycle)
+        self.known_faults = known_faults
+        #: divergence repair is only sound before any reversion has been
+        #: applied — afterwards the durable state legitimately differs
+        #: from the log's reconstruction
+        self.enable_divergence_repair = enable_divergence_repair
+
+    def _is_new_fault(self, outcome: RunOutcome) -> bool:
+        return (
+            self.known_faults is not None
+            and outcome.fault is not None
+            and outcome.fault.iid not in self.known_faults
+        )
+
+    # ------------------------------------------------------------------
+    # low-level reversion primitives
+    # ------------------------------------------------------------------
+    def _plan_range_before(self, addr: int, size: int, cut_seq: int):
+        """Compute the writes reconstructing ``[addr, addr+size)`` as it
+        was just before ``cut_seq``; returns ``{addr: value}``.
+
+        The range starts from zeros, then every checkpoint entry
+        overlapping it re-applies its newest pre-cut version (oldest
+        first, so newer pre-cut writes win).  This handles ranges that
+        cover *neighbouring objects* — e.g. a buffer-overflow persist
+        that spilled past its own block — which a naive same-entry
+        version copy would corrupt.
+        """
+        writes = {addr + i: 0 for i in range(size)}
+        informed: Set[int] = set()
+        overlapping = []
+        for entry in self.log.entries.values():
+            pre_cut = [v for v in entry.versions if v.seq < cut_seq]
+            if not pre_cut and entry.history_evicted and entry.versions:
+                # the true pre-cut version was evicted from the ring;
+                # floor at the oldest retained version rather than zeros
+                # (applied first, so genuine pre-cut data wins over it)
+                overlapping.append((-1, entry.address, entry.versions[0]))
+                continue
+            # apply every pre-cut version in order: versions of one entry
+            # may have different sizes (a whole-struct persist followed by
+            # field-granular persists share the base address), so the
+            # latest alone cannot reconstruct the full range
+            for version in pre_cut:
+                overlapping.append((version.seq, entry.address, version))
+        for _seq, base, version in sorted(overlapping):
+            if not (base < addr + size and addr < base + version.size):
+                continue
+            for i, value in enumerate(version.data):
+                a = base + i
+                if addr <= a < addr + size:
+                    writes[a] = value
+                    informed.add(a)
+        return writes, informed
+
+    def restore_range_before(self, addr: int, size: int, cut_seq: int) -> None:
+        """Apply the pre-``cut_seq`` reconstruction of a range."""
+        writes, _informed = self._plan_range_before(addr, size, cut_seq)
+        for a, value in writes.items():
+            self.pool.durable_write(a, value)
+
+    def _dangling_targets(self, writes) -> List[int]:
+        """Restored words that point into freed persistent memory."""
+        out: List[int] = []
+        for value in writes.values():
+            if value and self.pool.contains(value):
+                if self.allocator.block_containing(value) is None:
+                    out.append(value)
+        return out
+
+    def _unfree_covering(self, target: int) -> bool:
+        """Revert the free event whose block contains ``target``.
+
+        Installing an old pointer to a since-freed block would let a
+        future allocation silently alias live data, so a reversion that
+        references freed memory must revert the free as well — the log
+        records every free (Section 3.2's intercepted ``free`` calls).
+        Newest covering free wins (the block may have been freed and
+        reused repeatedly).
+        """
+        for ev in sorted(self.log.events, key=lambda e: -e.seq):
+            if ev.kind == "free" and ev.addr <= target < ev.addr + ev.nwords:
+                try:
+                    self.allocator.unfree(ev.addr, ev.nwords)
+                    return True
+                except AllocationError:
+                    return False
+        return False
+
+    def revert_update_seq(
+        self, seq: int, steps_back: int = 1, guard_dangling: bool = False
+    ) -> bool:
+        """Restore the range to its state ``steps_back`` versions earlier.
+
+        Returns False when the sequence number is not a revertible update
+        (already evicted from the version ring, not an update, or — with
+        ``guard_dangling`` — the reversion would resurrect a pointer to
+        freed memory).
+        """
+        ev = self.log.event(seq)
+        if ev is None or ev.kind != "update":
+            return False
+        entry = self.log.entries.get(ev.addr)
+        if entry is None:
+            return False
+        idx = entry.version_index(seq)
+        if idx is None:
+            return False
+        # reverting k steps from version idx means restoring the state just
+        # before version (idx - k + 1); clamp at the oldest retained version
+        target_idx = max(idx - steps_back + 1, 0)
+        cut_seq = entry.versions[target_idx].seq
+        size = max(v.size for v in entry.versions[target_idx : idx + 1])
+        writes, informed = self._plan_range_before(entry.address, size, cut_seq)
+        has_own_preimage = (
+            any(v.seq < cut_seq for v in entry.versions)
+            or entry.history_evicted
+            or entry.address in informed
+        )
+        if not has_own_preimage:
+            # no recorded version anywhere describes this entry's pre-cut
+            # state; the paper only ever copies *recorded* version data,
+            # so a blind zero-fill (e.g. un-writing the root object's
+            # initialisation) is never attempted
+            return False
+        if guard_dangling:
+            for target in self._dangling_targets(writes):
+                if not self._unfree_covering(target):
+                    return False  # cannot make the reversion safe; skip it
+        for a, value in writes.items():
+            self.pool.durable_write(a, value)
+        return True
+
+    def tx_closure(self, seq: int) -> List[int]:
+        """All update seqs in the same transaction (Section 4.6)."""
+        tx_id = self.log.tx_of_seq(seq)
+        if not tx_id:
+            return [seq]
+        members = self.log.seqs_in_tx(tx_id)
+        return sorted(set(members) | {seq}, reverse=True)
+
+    def rollback_to_before(self, seq: int) -> List[int]:
+        """Time-ordered rollback of every event with seq >= ``seq``.
+
+        Returns the update sequence numbers that were reverted.
+        """
+        reverted: List[int] = []
+        # value updates: reconstruct every range touched at-or-after the cut
+        touched: List[tuple] = []
+        for entry in self.log.entries.values():
+            newer = [v for v in entry.versions if v.seq >= seq]
+            if not newer:
+                continue
+            reverted.extend(v.seq for v in newer)
+            touched.append((entry.address, max(v.size for v in entry.versions)))
+        for addr, size in touched:
+            self.restore_range_before(addr, size, seq)
+        # allocator events, newest first
+        for ev in sorted(self.log.events_after(seq - 1), key=lambda e: -e.seq):
+            if ev.kind == "free":
+                try:
+                    self.allocator.unfree(ev.addr, ev.nwords)
+                except AllocationError:
+                    pass  # range partially reused; best effort
+            elif ev.kind == "alloc":
+                if self.allocator.is_allocated(ev.addr):
+                    try:
+                        self.allocator.free(ev.addr)
+                    except AllocationError:  # pragma: no cover - defensive
+                        pass
+        return reverted
+
+    # ------------------------------------------------------------------
+    # out-of-band corruption repair
+    # ------------------------------------------------------------------
+    def _expected_word(self, addr: int) -> Optional[int]:
+        """Value the newest checkpoint version says ``addr`` should hold."""
+        best_seq = -1
+        best_val: Optional[int] = None
+        for entry in self.log.entries.values():
+            for version in entry.versions:
+                if entry.address <= addr < entry.address + version.size:
+                    if version.seq > best_seq:
+                        best_seq = version.seq
+                        best_val = version.data[addr - entry.address]
+        return best_val
+
+    def repair_divergence(self, plan: ReversionPlan) -> List[int]:
+        """Re-apply logged values where durable PM diverges from the log.
+
+        Every value the program persisted went through the checkpoint
+        hooks, so the log can reconstruct the last persisted image of any
+        logged range.  A durable word that differs from that image was
+        corrupted *out of band* — a hardware fault (bit flip) rather than
+        a software store.  Restricted to the plan's candidate entries so
+        the repair stays within the fault's dependence slice.
+
+        Returns the repaired addresses (empty for pure software faults).
+        """
+        repaired: List[int] = []
+        seen_entries: Set[int] = set()
+        for cand in plan.candidates:
+            ev = self.log.event(cand.seq)
+            if ev is None or ev.addr in seen_entries:
+                continue
+            seen_entries.add(ev.addr)
+            entry = self.log.entries.get(ev.addr)
+            if entry is None or not entry.versions:
+                continue
+            size = max(v.size for v in entry.versions)
+            for i in range(size):
+                a = entry.address + i
+                expected = self._expected_word(a)
+                if expected is not None and self.pool.durable_read(a) != expected:
+                    self.pool.durable_write(a, expected)
+                    repaired.append(a)
+        return repaired
+
+    # ------------------------------------------------------------------
+    # strategies
+    # ------------------------------------------------------------------
+    def _try_divergence_repair(self, result: MitigationResult,
+                               plan: ReversionPlan) -> Optional[RunOutcome]:
+        """Step 0 of both strategies; returns the outcome if it re-executed."""
+        if not self.enable_divergence_repair:
+            return None
+        repaired = self.repair_divergence(plan)
+        if not repaired:
+            return None
+        result.notes = f"repaired {len(repaired)} divergent word(s)"
+        return self._attempt(result, len(repaired))
+
+    def mitigate_purge(
+        self, plan: ReversionPlan, batch_size: int = 1
+    ) -> MitigationResult:
+        """Dependency-based purge: revert only dependent entries."""
+        result = MitigationResult(recovered=False, mode="purge")
+        if plan.empty:
+            result.aborted_empty_plan = True
+            return self._finish(result)
+        outcome = self._try_divergence_repair(result, plan)
+        if outcome is not None and outcome.ok:
+            result.recovered = True
+            return self._finish(result)
+        tried: Set[tuple] = set()
+        for steps_back in range(1, self.max_versions + 1):
+            batch: List[Candidate] = []
+            for cand in plan.candidates:
+                batch.append(cand)
+                if len(batch) < batch_size and cand is not plan.candidates[-1]:
+                    continue
+                group: List[int] = []
+                for c in batch:
+                    for s in self.tx_closure(c.seq):
+                        if (s, steps_back) not in tried:
+                            tried.add((s, steps_back))
+                            group.append(s)
+                batch_cands, batch = list(batch), []
+                if not group:
+                    continue
+                reverted_any = False
+                for s in sorted(group, reverse=True):
+                    if self.revert_update_seq(s, steps_back, guard_dangling=True):
+                        result.reverted_seqs.append(s)
+                        reverted_any = True
+                if not reverted_any:
+                    continue
+                outcome = self._attempt(result, len(group))
+                if outcome is None:
+                    return self._finish(result)  # budget exhausted
+                if not outcome.ok and self._is_new_fault(outcome):
+                    result.notes = "stopped: new fault surfaced"
+                    return self._finish(result)
+                if outcome.ok:
+                    extra = self._purge_forward_pass(result, batch_cands, min(group))
+                    result.recovered = True
+                    if extra:
+                        # re-execute once more so recovery runs over the
+                        # forward-purged state (and confirms it still works)
+                        confirm = self._attempt(result, extra)
+                        result.recovered = confirm is not None and confirm.ok
+                    return self._finish(result)
+        return self._finish(result)
+
+    def _purge_forward_pass(
+        self, result: MitigationResult, cands: List[Candidate], cut: int
+    ) -> int:
+        """Second pass: purge updates that depend on the reverted ones.
+
+        Only *value updates* are purged forward; free/alloc events are
+        left alone (undoing frees is rollback-mode territory), which is
+        the source of the purge mode's rare semantic inconsistencies.
+        """
+        if self.forward_seqs_fn is None:
+            return 0
+        extra: Set[int] = set()
+        for cand in cands:
+            for dep_seq in self.forward_seqs_fn(cand):
+                if dep_seq > cut and dep_seq not in result.reverted_seqs:
+                    extra.add(dep_seq)
+        reverted = 0
+        for s in sorted(extra, reverse=True):
+            if self.revert_update_seq(s, 1):
+                result.reverted_seqs.append(s)
+                self.clock.advance(self.revert_cost)
+                reverted += 1
+        return reverted
+
+    def mitigate_rollback(self, plan: ReversionPlan) -> MitigationResult:
+        """Conservative, time-respecting rollback."""
+        result = MitigationResult(recovered=False, mode="rollback")
+        if plan.empty:
+            result.aborted_empty_plan = True
+            return self._finish(result)
+        outcome = self._try_divergence_repair(result, plan)
+        if outcome is not None and outcome.ok:
+            result.recovered = True
+            return self._finish(result)
+        cuts: List[int] = []
+        seen: Set[int] = set()
+        for cand in plan.candidates:
+            cut = min(self.tx_closure(cand.seq))
+            if cut not in seen:
+                seen.add(cut)
+                cuts.append(cut)
+        for cut in cuts:
+            reverted = self.rollback_to_before(cut)
+            result.reverted_seqs.extend(reverted)
+            outcome = self._attempt(result, max(1, len(reverted)))
+            if outcome is None:
+                return self._finish(result)
+            if not outcome.ok and self._is_new_fault(outcome):
+                result.notes = "stopped: new fault surfaced"
+                return self._finish(result)
+            if outcome.ok:
+                result.recovered = True
+                return self._finish(result)
+        return self._finish(result)
+
+    def mitigate_bisect(self, plan: ReversionPlan) -> MitigationResult:
+        """Binary-search reversion (the paper's technical-report variant).
+
+        When slice nodes alias many sequence numbers, one-at-a-time
+        reversion pays one re-execution per candidate.  Instead: revert
+        *all* candidates once; if that recovers the system, binary-search
+        the smallest newest-first prefix that still recovers it.  Probes
+        restore a pre-mitigation snapshot and re-apply the prefix, so the
+        search is O(log n) re-executions and the final data loss is the
+        minimal prefix.  Falls back (returns unrecovered) when even the
+        full reversion does not help — the caller can then try purge or
+        rollback.
+        """
+        from repro.pmem.snapshot import restore_snapshot, take_snapshot
+
+        result = MitigationResult(recovered=False, mode="bisect")
+        if plan.empty:
+            result.aborted_empty_plan = True
+            return self._finish(result)
+        outcome = self._try_divergence_repair(result, plan)
+        if outcome is not None and outcome.ok:
+            result.recovered = True
+            return self._finish(result)
+
+        baseline = take_snapshot(self.pool, self.allocator)
+        groups: List[List[int]] = []
+        seen: Set[int] = set()
+        for cand in plan.candidates:
+            group = [s for s in self.tx_closure(cand.seq) if s not in seen]
+            if group:
+                seen.update(group)
+                groups.append(group)
+
+        def probe(k: int) -> Optional[RunOutcome]:
+            restore_snapshot(self.pool, baseline, self.allocator)
+            applied = []
+            for group in groups[:k]:
+                for s in sorted(group, reverse=True):
+                    if self.revert_update_seq(s, 1, guard_dangling=True):
+                        applied.append(s)
+            probe.last_applied = applied  # type: ignore[attr-defined]
+            return self._attempt(result, max(1, len(applied)))
+
+        full = probe(len(groups))
+        if full is None or not full.ok:
+            restore_snapshot(self.pool, baseline, self.allocator)
+            result.notes = "full reversion did not recover; bisect aborted"
+            return self._finish(result)
+        lo, hi = 1, len(groups)  # smallest k in [1, n] that recovers
+        best = len(groups)
+        best_applied = list(probe.last_applied)  # type: ignore[attr-defined]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            outcome = probe(mid)
+            if outcome is None:
+                break  # budget exhausted; keep the best known prefix
+            if outcome.ok:
+                best, hi = mid, mid
+                best_applied = list(probe.last_applied)  # type: ignore[attr-defined]
+            else:
+                lo = mid + 1
+        # leave the pool in the minimal recovered state
+        final = probe(best)
+        if final is not None and final.ok:
+            best_applied = list(probe.last_applied)  # type: ignore[attr-defined]
+        result.recovered = True
+        result.reverted_seqs = best_applied
+        result.notes = f"bisect kept {best} of {len(groups)} reversion groups"
+        return self._finish(result)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, result: MitigationResult, reverted_count: int) -> Optional[RunOutcome]:
+        """Charge time, re-execute; None when the budget is exhausted."""
+        if result.attempts >= self.max_attempts:
+            result.timed_out = True
+            return None
+        self.clock.advance(self.revert_cost * reverted_count)
+        self.clock.advance(self.reexec_delay())
+        result.duration_seconds = (
+            result.duration_seconds
+            + self.revert_cost * reverted_count
+            + 0.0
+        )
+        if self.clock.now > self.timeout_seconds:
+            result.timed_out = True
+            return None
+        result.attempts += 1
+        outcome = self.reexec()
+        result.last_outcome = outcome
+        return outcome
+
+    def _finish(self, result: MitigationResult) -> MitigationResult:
+        result.duration_seconds = self.clock.now
+        return result

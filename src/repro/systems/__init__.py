@@ -1,0 +1,52 @@
+"""The five PM target systems, written in PMLang (paper Section 6.1).
+
+Miniature but faithful re-implementations of the systems the paper
+evaluates — each contains the data-structure logic its bugs live in:
+
+* :mod:`repro.systems.memcached` — chained hashtable, item refcounts,
+  lazy expiry, rehash/expansion (faults f1-f5)
+* :mod:`repro.systems.redis` — dict of objects with refcounts, listpacks,
+  slowlog (faults f6-f8)
+* :mod:`repro.systems.cceh` — directory-doubling extendible hashing
+  (fault f9)
+* :mod:`repro.systems.pelikan` — slab-class cache (faults f10-f11)
+* :mod:`repro.systems.pmemkv` — KV engine with asynchronous lazy free
+  (fault f12)
+* :mod:`repro.systems.levelhash` — two-level write-optimized hashing
+  (bonus system carrying the study's wrong-mask rehash bug)
+
+Each module exposes a :class:`~repro.systems.common.SystemAdapter`
+subclass providing a uniform insert/lookup/delete/check interface to the
+experiment harness.
+"""
+
+from repro.systems.cceh import CCEHAdapter
+from repro.systems.common import SystemAdapter
+from repro.systems.levelhash import LevelHashAdapter
+from repro.systems.memcached import MemcachedAdapter
+from repro.systems.pelikan import PelikanAdapter
+from repro.systems.pmemkv import PmemkvAdapter
+from repro.systems.redis import RedisAdapter
+
+ALL_ADAPTERS = {
+    cls.NAME: cls
+    for cls in (
+        MemcachedAdapter,
+        RedisAdapter,
+        CCEHAdapter,
+        PelikanAdapter,
+        PmemkvAdapter,
+        LevelHashAdapter,
+    )
+}
+
+__all__ = [
+    "SystemAdapter",
+    "LevelHashAdapter",
+    "MemcachedAdapter",
+    "RedisAdapter",
+    "CCEHAdapter",
+    "PelikanAdapter",
+    "PmemkvAdapter",
+    "ALL_ADAPTERS",
+]

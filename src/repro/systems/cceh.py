@@ -1,0 +1,340 @@
+"""CCEH in PMLang: directory-doubling extendible hashing (fault f9).
+
+CCEH (FAST '19) grows by splitting 4-slot segments; when a segment's
+local depth equals the global depth, the directory doubles.  The RECIPE
+authors reported the bug the paper reproduces as **f9**: metadata updates
+during directory doubling are not crash-atomic — if the process dies
+after the new directory is installed but *before* the global depth is
+bumped, every later insert into a full max-depth segment loops forever:
+
+* the insert sees ``local_depth == global_depth`` and asks for a doubling,
+* ``cc_double`` sees the directory capacity already doubled and returns
+  early (believing the doubling happened), without fixing ``cc_gd``,
+* the insert retries, the segment is still full — an infinite loop that
+  recurs on every restart because the half-updated metadata is persistent.
+
+The harness injects the crash at the ``nop()`` anchor between the two
+metadata transactions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.systems.common import SystemAdapter
+
+#: key/value pairs per segment
+SEG_CAP = 4
+
+STRUCTS = {
+    "ccroot": ["cc_dir", "cc_dircap", "cc_gd", "cc_count"],
+    # segment: local depth, live pairs, then SEG_CAP inline (key, value)s
+    "ccseg": [
+        "cs_ld",
+        "cs_count",
+        "cs_k0",
+        "cs_v0",
+        "cs_k1",
+        "cs_v1",
+        "cs_k2",
+        "cs_v2",
+        "cs_k3",
+        "cs_v3",
+    ],
+}
+
+SOURCE = '''
+def cc_new_seg(ld):
+    seg = pm_alloc(sizeof("ccseg"))
+    tx_begin()
+    tx_add(seg, 2)
+    seg.cs_ld = ld
+    seg.cs_count = 0
+    tx_commit()
+    return seg
+
+
+def cc_init():
+    root = get_root()
+    if root == 0:
+        root = pm_alloc(sizeof("ccroot"))
+        d = pm_alloc(4)
+        i = 0
+        while i < 4:
+            d[i] = cc_new_seg(2)
+            i = i + 1
+        root.cc_dir = d
+        root.cc_dircap = 4
+        root.cc_gd = 2
+        root.cc_count = 0
+        persist(d, 4)
+        persist(root, sizeof("ccroot"))
+        set_root(root)
+    return root
+
+
+def cc_seg_find(seg, key):
+    base = seg + 2
+    i = 0
+    while i < seg.cs_count:
+        if base[2 * i] == key:
+            return i
+        i = i + 1
+    return -1
+
+
+def cc_insert(root, key, val):
+    while 1 == 1:
+        mask = (1 << root.cc_gd) - 1
+        idx = key & mask
+        d = root.cc_dir
+        seg = d[idx]
+        slot = cc_seg_find(seg, key)
+        if slot >= 0:
+            base = seg + 2
+            tx_begin()
+            tx_add(addr(base[2 * slot + 1]), 1)
+            base[2 * slot + 1] = val
+            tx_commit()
+            return 1
+        if seg.cs_count < 4:
+            base = seg + 2
+            n = seg.cs_count
+            tx_begin()
+            tx_add(addr(base[2 * n]), 1)
+            tx_add(addr(base[2 * n + 1]), 1)
+            tx_add(addr(seg.cs_count), 1)
+            tx_add(addr(root.cc_count), 1)
+            base[2 * n] = key
+            base[2 * n + 1] = val
+            seg.cs_count = seg.cs_count + 1
+            root.cc_count = root.cc_count + 1
+            tx_commit()
+            return 1
+        if seg.cs_ld < root.cc_gd:
+            cc_split(root, seg)
+        else:
+            cc_double(root)
+    return 0
+
+
+def cc_split(root, seg):
+    ld = seg.cs_ld
+    s0 = cc_new_seg(ld + 1)
+    s1 = cc_new_seg(ld + 1)
+    base = seg + 2
+    i = 0
+    while i < seg.cs_count:
+        k = base[2 * i]
+        v = base[2 * i + 1]
+        t = s0
+        if ((k >> ld) & 1) != 0:
+            t = s1
+        tbase = t + 2
+        n = t.cs_count
+        tx_begin()
+        tx_add(addr(tbase[2 * n]), 1)
+        tx_add(addr(tbase[2 * n + 1]), 1)
+        tx_add(addr(t.cs_count), 1)
+        tbase[2 * n] = k
+        tbase[2 * n + 1] = v
+        t.cs_count = t.cs_count + 1
+        tx_commit()
+        i = i + 1
+    d = root.cc_dir
+    cap = root.cc_dircap
+    j = 0
+    while j < cap:
+        if d[j] == seg:
+            t = s0
+            if ((j >> ld) & 1) != 0:
+                t = s1
+            tx_begin()
+            tx_add(addr(d[j]), 1)
+            d[j] = t
+            tx_commit()
+        j = j + 1
+    pm_free(seg)
+    return 1
+
+
+def cc_double(root):
+    if root.cc_dircap == 2 * (1 << root.cc_gd):
+        return 0
+    cap = root.cc_dircap
+    newcap = cap * 2
+    d = root.cc_dir
+    nd = pm_alloc(newcap)
+    i = 0
+    while i < cap:
+        nd[i] = d[i]
+        nd[i + cap] = d[i]
+        i = i + 1
+    persist(nd, newcap)
+    tx_begin()
+    tx_add(addr(root.cc_dir), 1)
+    tx_add(addr(root.cc_dircap), 1)
+    root.cc_dir = nd
+    root.cc_dircap = newcap
+    tx_commit()
+    nop()
+    tx_begin()
+    tx_add(addr(root.cc_gd), 1)
+    root.cc_gd = root.cc_gd + 1
+    tx_commit()
+    pm_free(d)
+    return 1
+
+
+def cc_get(root, key):
+    mask = (1 << root.cc_gd) - 1
+    idx = key & mask
+    d = root.cc_dir
+    seg = d[idx]
+    slot = cc_seg_find(seg, key)
+    if slot < 0:
+        return -1
+    base = seg + 2
+    return base[2 * slot + 1]
+
+
+def cc_delete(root, key):
+    mask = (1 << root.cc_gd) - 1
+    idx = key & mask
+    d = root.cc_dir
+    seg = d[idx]
+    slot = cc_seg_find(seg, key)
+    if slot < 0:
+        return 0
+    base = seg + 2
+    last = seg.cs_count - 1
+    tx_begin()
+    tx_add(addr(base[2 * slot]), 1)
+    tx_add(addr(base[2 * slot + 1]), 1)
+    tx_add(addr(base[2 * last]), 1)
+    tx_add(addr(base[2 * last + 1]), 1)
+    tx_add(addr(seg.cs_count), 1)
+    tx_add(addr(root.cc_count), 1)
+    base[2 * slot] = base[2 * last]
+    base[2 * slot + 1] = base[2 * last + 1]
+    base[2 * last] = 0
+    base[2 * last + 1] = 0
+    seg.cs_count = last
+    root.cc_count = root.cc_count - 1
+    tx_commit()
+    return 1
+
+
+def cc_check(root, key):
+    v = cc_get(root, key)
+    assert_true(v != -1, "check: key missing")
+    return v
+
+
+def cc_recover(root):
+    n = 0
+    d = root.cc_dir
+    cap = root.cc_dircap
+    i = 0
+    while i < cap:
+        seg = d[i]
+        base = seg + 2
+        j = 0
+        while j < seg.cs_count:
+            k = base[2 * j]
+            j = j + 1
+        i = i + 1
+        n = n + 1
+    c = cc_scan(root)
+    root.cc_count = c
+    persist(addr(root.cc_count), 1)
+    return n
+
+
+def cc_scan(root):
+    # each segment appears in 2^(gd - ld) directory slots; weight it out
+    total = 0
+    d = root.cc_dir
+    cap = root.cc_dircap
+    gd = root.cc_gd
+    i = 0
+    while i < cap:
+        seg = d[i]
+        share = 1 << (gd - seg.cs_ld)
+        if share > 0:
+            total = total + (seg.cs_count * 256) // share
+        i = i + 1
+    return total // 256
+
+
+def cc_meta_ok(root):
+    if root.cc_dircap == (1 << root.cc_gd):
+        return 1
+    return 0
+
+
+def cc_count(root):
+    return root.cc_count
+
+
+def __driver__():
+    root = cc_init()
+    cc_insert(root, 1, 2)
+    cc_get(root, 1)
+    cc_check(root, 1)
+    cc_delete(root, 1)
+    cc_double(root)
+    cc_recover(root)
+    cc_scan(root)
+    cc_meta_ok(root)
+    cc_count(root)
+    return 0
+'''
+
+
+class CCEHAdapter(SystemAdapter):
+    """Harness adapter for CCEH."""
+
+    NAME = "cceh"
+    STRUCTS = STRUCTS
+    SOURCE = SOURCE
+    INIT_FN = "cc_init"
+    RECOVER_FN = "cc_recover"
+
+    def insert(self, key: int, value: int) -> int:
+        return self.call("cc_insert", self.root, key, value)
+
+    def lookup(self, key: int) -> int:
+        return self.call("cc_get", self.root, key)
+
+    def delete(self, key: int) -> int:
+        return self.call("cc_delete", self.root, key)
+
+    def count_items(self) -> int:
+        return self.call("cc_count", self.root)
+
+    def check_key(self, key: int) -> None:
+        self.call("cc_check", self.root, key)
+
+    def consistency_violations(self) -> List[str]:
+        violations = []
+        if not self.call("cc_meta_ok", self.root):
+            violations.append("directory capacity does not match global depth")
+        count = self.count_items()
+        scanned = self.call("cc_scan", self.root)
+        if scanned != count:
+            violations.append(f"count {count} != scanned pairs {scanned}")
+        return violations
+
+    def expected_item_words(self) -> int:
+        dircap = self.pool.read(self.root + STRUCTS["ccroot"].index("cc_dircap"))
+        seg_words = len(STRUCTS["ccseg"])
+        # at most dircap segments exist (usually fewer)
+        return self.count_items() * 3 + dircap * (seg_words + 1) + 8
+
+    def double_crash_iid(self) -> int:
+        """Instruction id of the f9 crash-injection anchor (the nop)."""
+        for instr in self.module.functions["cc_double"].instructions():
+            if instr.op == "nop":
+                return instr.iid
+        raise AssertionError("cc_double has no nop anchor")

@@ -1,0 +1,297 @@
+"""Mini Level hashing in PMLang (bonus system from the study's Table 1).
+
+Level hashing (OSDI '18) is a write-optimized PM index: a two-level
+structure where the top level has N two-slot buckets, the bottom level
+N/2, and every key has two candidate top buckets plus one bottom bucket.
+A resize allocates a new top level of 2N buckets, demotes the old top to
+be the new bottom, and rehashes the old bottom's items into the new top.
+
+The study's LevelHash entry (bug #5) is carried as the seeded bug here:
+``lv_resize`` rehashes the old bottom's items **with the old level mask**
+instead of the new one (the "wrong level mask" logic error), so the
+rehashed items are persisted into top buckets where post-resize lookups
+— which use the new mask — never look.  The misplacement is persistent:
+a silently *wrong result* (Figure 3's second-largest consequence class)
+that survives every restart.
+
+This system is not part of the paper's Table 2 evaluation; it exists to
+show the toolchain generalizes beyond the five evaluated systems
+(`tests/test_systems_levelhash.py` walks Arthas through the recovery).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.systems.common import SystemAdapter
+
+#: slots per bucket
+SLOTS = 2
+
+STRUCTS = {
+    "lvroot": ["lv_top", "lv_bottom", "lv_n", "lv_count", "lv_resizes"],
+    # one bucket: two (key, value) slots plus a fill bitmap
+    "lvbucket": ["lb_bits", "lb_k0", "lb_v0", "lb_k1", "lb_v1"],
+}
+
+SOURCE = '''
+def lv_new_table(n):
+    t = pm_alloc(n * sizeof("lvbucket"))
+    return t
+
+
+def lv_init():
+    root = get_root()
+    if root == 0:
+        root = pm_alloc(sizeof("lvroot"))
+        root.lv_top = lv_new_table(8)
+        root.lv_bottom = lv_new_table(4)
+        root.lv_n = 8
+        root.lv_count = 0
+        root.lv_resizes = 0
+        persist(root, sizeof("lvroot"))
+        set_root(root)
+    return root
+
+
+def lv_bucket(table, idx):
+    return table + idx * sizeof("lvbucket")
+
+
+def lv_h1(key, n):
+    return key % n
+
+
+def lv_h2(key, n):
+    return (key * 7 + 3) % n
+
+
+def lv_slot_find(b, key):
+    if (b.lb_bits & 1) != 0 and b.lb_k0 == key:
+        return 0
+    if (b.lb_bits & 2) != 0 and b.lb_k1 == key:
+        return 1
+    return -1
+
+
+def lv_slot_put(b, key, val):
+    if (b.lb_bits & 1) == 0:
+        tx_begin()
+        tx_add(b, sizeof("lvbucket"))
+        b.lb_k0 = key
+        b.lb_v0 = val
+        b.lb_bits = b.lb_bits | 1
+        tx_commit()
+        return 1
+    if (b.lb_bits & 2) == 0:
+        tx_begin()
+        tx_add(b, sizeof("lvbucket"))
+        b.lb_k1 = key
+        b.lb_v1 = val
+        b.lb_bits = b.lb_bits | 2
+        tx_commit()
+        return 1
+    return 0
+
+
+def lv_slot_update(b, slot, val):
+    tx_begin()
+    if slot == 0:
+        tx_add(addr(b.lb_v0), 1)
+        b.lb_v0 = val
+    else:
+        tx_add(addr(b.lb_v1), 1)
+        b.lb_v1 = val
+    tx_commit()
+    return 1
+
+
+def lv_find_bucket(root, key):
+    n = root.lv_n
+    b1 = lv_bucket(root.lv_top, lv_h1(key, n))
+    if lv_slot_find(b1, key) >= 0:
+        return b1
+    b2 = lv_bucket(root.lv_top, lv_h2(key, n))
+    if lv_slot_find(b2, key) >= 0:
+        return b2
+    b3 = lv_bucket(root.lv_bottom, lv_h1(key, n // 2))
+    if lv_slot_find(b3, key) >= 0:
+        return b3
+    return 0
+
+
+def lv_get(root, key):
+    b = lv_find_bucket(root, key)
+    if b == 0:
+        return -1
+    slot = lv_slot_find(b, key)
+    if slot == 0:
+        return b.lb_v0
+    return b.lb_v1
+
+
+def lv_insert(root, key, val):
+    b = lv_find_bucket(root, key)
+    if b != 0:
+        return lv_slot_update(b, lv_slot_find(b, key), val)
+    n = root.lv_n
+    if lv_slot_put(lv_bucket(root.lv_top, lv_h1(key, n)), key, val) == 1:
+        lv_bump(root)
+        return 1
+    if lv_slot_put(lv_bucket(root.lv_top, lv_h2(key, n)), key, val) == 1:
+        lv_bump(root)
+        return 1
+    if lv_slot_put(lv_bucket(root.lv_bottom, lv_h1(key, n // 2)), key, val) == 1:
+        lv_bump(root)
+        return 1
+    lv_resize(root)
+    return lv_insert(root, key, val)
+
+
+def lv_bump(root):
+    root.lv_count = root.lv_count + 1
+    persist(addr(root.lv_count), 1)
+    return 0
+
+
+def lv_delete(root, key):
+    b = lv_find_bucket(root, key)
+    if b == 0:
+        return 0
+    slot = lv_slot_find(b, key)
+    tx_begin()
+    tx_add(addr(b.lb_bits), 1)
+    tx_add(addr(root.lv_count), 1)
+    if slot == 0:
+        b.lb_bits = b.lb_bits & 2
+    else:
+        b.lb_bits = b.lb_bits & 1
+    root.lv_count = root.lv_count - 1
+    tx_commit()
+    return 1
+
+
+def lv_rehash_bucket(root, b, newtop, mask_n):
+    # BUG (study #5): items are republished under ``mask_n``, which the
+    # caller wrongly passes as the OLD level size — post-resize lookups
+    # hash with the new size and never find them
+    if (b.lb_bits & 1) != 0:
+        lv_slot_put(lv_bucket(newtop, lv_h1(b.lb_k0, mask_n)), b.lb_k0, b.lb_v0)
+    if (b.lb_bits & 2) != 0:
+        lv_slot_put(lv_bucket(newtop, lv_h1(b.lb_k1, mask_n)), b.lb_k1, b.lb_v1)
+    return 0
+
+
+def lv_resize(root):
+    n = root.lv_n
+    newn = n * 2
+    newtop = lv_new_table(newn)
+    oldbottom = root.lv_bottom
+    i = 0
+    while i < n // 2:
+        b = lv_bucket(oldbottom, i)
+        lv_rehash_bucket(root, b, newtop, n)
+        i = i + 1
+    tx_begin()
+    tx_add(addr(root.lv_bottom), 1)
+    tx_add(addr(root.lv_top), 1)
+    tx_add(addr(root.lv_n), 1)
+    tx_add(addr(root.lv_resizes), 1)
+    root.lv_bottom = root.lv_top
+    root.lv_top = newtop
+    root.lv_n = newn
+    root.lv_resizes = root.lv_resizes + 1
+    tx_commit()
+    pm_free(oldbottom)
+    return 1
+
+
+def lv_check(root, key):
+    v = lv_get(root, key)
+    assert_true(v != -1, "check: key missing")
+    return v
+
+
+def lv_scan(root):
+    total = 0
+    n = root.lv_n
+    i = 0
+    while i < n:
+        b = lv_bucket(root.lv_top, i)
+        if (b.lb_bits & 1) != 0:
+            total = total + 1
+        if (b.lb_bits & 2) != 0:
+            total = total + 1
+        i = i + 1
+    i = 0
+    while i < n // 2:
+        b = lv_bucket(root.lv_bottom, i)
+        if (b.lb_bits & 1) != 0:
+            total = total + 1
+        if (b.lb_bits & 2) != 0:
+            total = total + 1
+        i = i + 1
+    return total
+
+
+def lv_recover(root):
+    c = lv_scan(root)
+    root.lv_count = c
+    persist(addr(root.lv_count), 1)
+    return c
+
+
+def lv_count(root):
+    return root.lv_count
+
+
+def __driver__():
+    root = lv_init()
+    lv_insert(root, 1, 2)
+    lv_get(root, 1)
+    lv_check(root, 1)
+    lv_delete(root, 1)
+    lv_resize(root)
+    lv_recover(root)
+    lv_scan(root)
+    lv_count(root)
+    return 0
+'''
+
+
+class LevelHashAdapter(SystemAdapter):
+    """Harness adapter for mini Level hashing."""
+
+    NAME = "levelhash"
+    STRUCTS = STRUCTS
+    SOURCE = SOURCE
+    INIT_FN = "lv_init"
+    RECOVER_FN = "lv_recover"
+
+    def insert(self, key: int, value: int) -> int:
+        return self.call("lv_insert", self.root, key, value)
+
+    def lookup(self, key: int) -> int:
+        return self.call("lv_get", self.root, key)
+
+    def delete(self, key: int) -> int:
+        return self.call("lv_delete", self.root, key)
+
+    def count_items(self) -> int:
+        return self.call("lv_count", self.root)
+
+    def check_key(self, key: int) -> None:
+        self.call("lv_check", self.root, key)
+
+    def consistency_violations(self) -> List[str]:
+        violations = []
+        count = self.count_items()
+        scanned = self.call("lv_scan", self.root)
+        if scanned != count:
+            violations.append(f"count {count} != scanned slots {scanned}")
+        return violations
+
+    def expected_item_words(self) -> int:
+        n = self.pool.read(self.root + STRUCTS["lvroot"].index("lv_n"))
+        bucket_words = len(STRUCTS["lvbucket"])
+        return (n + n // 2) * bucket_words + len(STRUCTS["lvroot"])

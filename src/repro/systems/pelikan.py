@@ -1,0 +1,345 @@
+"""Mini-Pelikan in PMLang: slab-class cache with a stats block.
+
+Carries the logic of faults f10-f11 (paper Table 2):
+
+* **f10** — ``pl_set`` keeps the value length in an 8-bit field and
+  validates capacity against the *wrapped* total, so an oversized value
+  writes far past the item's inline array, trashing neighbouring items'
+  chain words (persisted via the covering transaction).  The next lookup
+  that walks a trashed chain dereferences garbage — segmentation fault.
+* **f11** — ``pl_stats_reset`` frees the stats block and persists a null
+  pointer, relying on a lazy re-allocation that was never implemented;
+  every subsequent stats request dereferences null.  The null pointer is
+  persistent, so the segfault recurs across restarts.
+
+Items carry a slab-class id; class 0 items may use 4 inline value words,
+class 1 items all 8.  ``pl_delete`` asserts the stored length fits the
+class — the check that trips over f10's leftover corruption.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.systems.common import SystemAdapter
+
+STRUCTS = {
+    "proot": [
+        "pl_ht",
+        "pl_htsize",
+        "pl_count",
+        "pl_bytes",
+        "pl_stats",
+        "pl_time",
+    ],
+    "pitem": [
+        "pi_key",
+        "pi_klass",
+        "pi_vallen",
+        "pi_d0",
+        "pi_d1",
+        "pi_d2",
+        "pi_d3",
+        "pi_d4",
+        "pi_d5",
+        "pi_d6",
+        "pi_d7",
+        "pi_hnext",
+    ],
+    "pstats": ["ps_hits", "ps_misses", "ps_sets", "ps_dels"],
+}
+
+SOURCE = '''
+def pl_init():
+    root = get_root()
+    if root == 0:
+        root = pm_alloc(sizeof("proot"))
+        ht = pm_alloc(64)
+        st = pm_alloc(sizeof("pstats"))
+        root.pl_ht = ht
+        root.pl_htsize = 64
+        root.pl_count = 0
+        root.pl_bytes = 0
+        root.pl_stats = st
+        root.pl_time = 0
+        persist(st, sizeof("pstats"))
+        persist(root, sizeof("proot"))
+        set_root(root)
+    return root
+
+
+def pl_bump(root, which):
+    st = root.pl_stats
+    if st == 0:
+        return 0
+    if which == 0:
+        st.ps_hits = st.ps_hits + 1
+        persist(addr(st.ps_hits), 1)
+    elif which == 1:
+        st.ps_misses = st.ps_misses + 1
+        persist(addr(st.ps_misses), 1)
+    elif which == 2:
+        st.ps_sets = st.ps_sets + 1
+        persist(addr(st.ps_sets), 1)
+    else:
+        st.ps_dels = st.ps_dels + 1
+        persist(addr(st.ps_dels), 1)
+    return 0
+
+
+def pl_class_cap(klass):
+    if klass == 0:
+        return 4
+    return 8
+
+
+def pl_find(root, key):
+    ht = root.pl_ht
+    b = key % root.pl_htsize
+    it = ht[b]
+    while it != 0:
+        if it.pi_key == key:
+            return it
+        it = it.pi_hnext
+    return 0
+
+
+def pl_set(root, key, n, val):
+    klass = 0
+    if n > 4:
+        klass = 1
+    cap = pl_class_cap(klass)
+    stored = n % 256
+    if stored > cap:
+        return -1
+    it = pl_find(root, key)
+    if it == 0:
+        it = pm_alloc(sizeof("pitem"))
+        ht = root.pl_ht
+        b = key % root.pl_htsize
+        tx_begin()
+        tx_add(it, sizeof("pitem"))
+        tx_add(addr(ht[b]), 1)
+        tx_add(addr(root.pl_count), 1)
+        it.pi_key = key
+        it.pi_klass = klass
+        it.pi_hnext = ht[b]
+        ht[b] = it
+        root.pl_count = root.pl_count + 1
+        tx_commit()
+    tx_begin()
+    tx_add(it, 3 + n)
+    tx_add(addr(root.pl_bytes), 1)
+    base = it + 3
+    i = 0
+    while i < n:
+        base[i] = val
+        i = i + 1
+    root.pl_bytes = root.pl_bytes - it.pi_vallen + n
+    it.pi_vallen = stored
+    tx_commit()
+    pl_bump(root, 2)
+    return 1
+
+
+def pl_get(root, key):
+    it = pl_find(root, key)
+    if it == 0:
+        pl_bump(root, 1)
+        return -1
+    pl_bump(root, 0)
+    return it.pi_d0
+
+
+def pl_delete(root, key):
+    ht = root.pl_ht
+    b = key % root.pl_htsize
+    it = ht[b]
+    prev = 0
+    while it != 0:
+        if it.pi_key == key:
+            cap = pl_class_cap(it.pi_klass)
+            assert_true(it.pi_vallen <= cap, "slab_release: corrupt item length")
+            tx_begin()
+            if prev == 0:
+                tx_add(addr(ht[b]), 1)
+                ht[b] = it.pi_hnext
+            else:
+                tx_add(addr(prev.pi_hnext), 1)
+                prev.pi_hnext = it.pi_hnext
+            tx_add(addr(root.pl_count), 1)
+            tx_add(addr(root.pl_bytes), 1)
+            root.pl_count = root.pl_count - 1
+            root.pl_bytes = root.pl_bytes - it.pi_vallen
+            tx_commit()
+            pm_free(it)
+            pl_bump(root, 3)
+            return 1
+        prev = it
+        it = it.pi_hnext
+    return 0
+
+
+def pl_stats_cmd(root):
+    st = root.pl_stats
+    return st.ps_hits + st.ps_misses + st.ps_sets + st.ps_dels
+
+
+def pl_stats_reset(root):
+    st = root.pl_stats
+    pm_free(st)
+    root.pl_stats = 0
+    persist(addr(root.pl_stats), 1)
+    return 1
+
+
+def pl_check(root, key):
+    it = pl_find(root, key)
+    assert_true(it != 0, "check: key missing")
+    return it.pi_d0
+
+
+def pl_recover(root):
+    n = 0
+    total = 0
+    ht = root.pl_ht
+    size = root.pl_htsize
+    b = 0
+    while b < size:
+        it = ht[b]
+        while it != 0:
+            k = it.pi_key
+            total = total + it.pi_vallen
+            n = n + 1
+            it = it.pi_hnext
+        b = b + 1
+    st = root.pl_stats
+    if st != 0:
+        h = st.ps_hits
+    root.pl_count = n
+    root.pl_bytes = total
+    persist(addr(root.pl_count), 1)
+    persist(addr(root.pl_bytes), 1)
+    return n
+
+
+def pl_scan(root, limit):
+    n = 0
+    ht = root.pl_ht
+    size = root.pl_htsize
+    b = 0
+    while b < size:
+        it = ht[b]
+        steps = 0
+        while it != 0:
+            if steps > limit:
+                return -1
+            n = n + 1
+            steps = steps + 1
+            it = it.pi_hnext
+        b = b + 1
+    return n
+
+
+def pl_scan_bytes(root, limit):
+    n = 0
+    ht = root.pl_ht
+    size = root.pl_htsize
+    b = 0
+    while b < size:
+        it = ht[b]
+        steps = 0
+        while it != 0:
+            if steps > limit:
+                return -1
+            n = n + it.pi_vallen
+            steps = steps + 1
+            it = it.pi_hnext
+        b = b + 1
+    return n
+
+
+def pl_count(root):
+    return root.pl_count
+
+
+def pl_bytes(root):
+    return root.pl_bytes
+
+
+def __driver__():
+    root = pl_init()
+    pl_set(root, 1, 2, 3)
+    pl_get(root, 1)
+    pl_check(root, 1)
+    pl_stats_cmd(root)
+    pl_delete(root, 1)
+    pl_stats_reset(root)
+    pl_recover(root)
+    pl_scan(root, 10)
+    pl_scan_bytes(root, 10)
+    pl_count(root)
+    pl_bytes(root)
+    return 0
+'''
+
+
+class PelikanAdapter(SystemAdapter):
+    """Harness adapter for mini-Pelikan."""
+
+    NAME = "pelikan"
+    STRUCTS = STRUCTS
+    SOURCE = SOURCE
+    INIT_FN = "pl_init"
+    RECOVER_FN = "pl_recover"
+
+    ITEM_WORDS = len(STRUCTS["pitem"])
+
+    def insert(self, key: int, value: int) -> int:
+        return self.call("pl_set", self.root, key, 1, value)
+
+    def set_value(self, key: int, nwords: int, value: int) -> int:
+        return self.call("pl_set", self.root, key, nwords, value)
+
+    def lookup(self, key: int) -> int:
+        return self.call("pl_get", self.root, key)
+
+    def delete(self, key: int) -> int:
+        return self.call("pl_delete", self.root, key)
+
+    def stats_cmd(self) -> int:
+        return self.call("pl_stats_cmd", self.root)
+
+    def stats_reset(self) -> int:
+        return self.call("pl_stats_reset", self.root)
+
+    def count_items(self) -> int:
+        return self.call("pl_count", self.root)
+
+    def check_key(self, key: int) -> None:
+        self.call("pl_check", self.root, key)
+
+    def consistency_violations(self) -> List[str]:
+        violations = []
+        count = self.count_items()
+        limit = count + 64
+        scanned = self.call("pl_scan", self.root, limit)
+        if scanned == -1:
+            violations.append("hash chain corrupt (walk exceeded bound)")
+        elif scanned != count:
+            violations.append(f"item count {count} != scanned items {scanned}")
+        scanned_bytes = self.call("pl_scan_bytes", self.root, limit)
+        stored_bytes = self.call("pl_bytes", self.root)
+        if scanned_bytes != -1 and scanned_bytes != stored_bytes:
+            violations.append(
+                f"byte accounting {stored_bytes} != scanned bytes {scanned_bytes}"
+            )
+        return violations
+
+    def expected_item_words(self) -> int:
+        return (
+            self.count_items() * self.ITEM_WORDS
+            + 64
+            + len(STRUCTS["proot"])
+            + len(STRUCTS["pstats"])
+        )

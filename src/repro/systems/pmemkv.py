@@ -1,0 +1,249 @@
+"""Mini-PMEMKV in PMLang: hashtable engine with asynchronous lazy free.
+
+Carries fault f12 (paper Table 2, PMEMKV issue #7): when a client deletes
+a key, the engine unlinks the entry from the persistent hashtable
+immediately (for request latency) and queues the block on a **volatile**
+to-free list that a background thread drains later with ``pm_free``.  If
+the process crashes before the background thread runs, the unlinked
+blocks are still allocated in persistent memory but unreachable from the
+root — a persistent memory leak that survives every restart.
+
+The adapter exposes ``delete`` (unlink + enqueue) and ``drain`` (run the
+background free thread); the f12 scenario crashes between the two.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.systems.common import SystemAdapter
+
+#: capacity of the volatile pending-free queue
+QUEUE_CAP = 512
+
+STRUCTS = {
+    "kvroot": ["pk_ht", "pk_htsize", "pk_count"],
+    "kventry": ["pe_key", "pe_val", "pe_next"],
+}
+
+SOURCE = '''
+def pk_init():
+    root = get_root()
+    if root == 0:
+        root = pm_alloc(sizeof("kvroot"))
+        ht = pm_alloc(64)
+        root.pk_ht = ht
+        root.pk_htsize = 64
+        root.pk_count = 0
+        persist(root, sizeof("kvroot"))
+        set_root(root)
+    return root
+
+
+def pk_make_queue():
+    q = valloc(2 + 512)
+    q[0] = 0
+    return q
+
+
+def pk_find(root, key):
+    ht = root.pk_ht
+    b = key % root.pk_htsize
+    e = ht[b]
+    while e != 0:
+        if e.pe_key == key:
+            return e
+        e = e.pe_next
+    return 0
+
+
+def pk_put(root, key, val):
+    e = pk_find(root, key)
+    if e != 0:
+        tx_begin()
+        tx_add(addr(e.pe_val), 1)
+        e.pe_val = val
+        tx_commit()
+        return 1
+    e = pm_alloc(sizeof("kventry"))
+    ht = root.pk_ht
+    b = key % root.pk_htsize
+    tx_begin()
+    tx_add(e, sizeof("kventry"))
+    tx_add(addr(ht[b]), 1)
+    tx_add(addr(root.pk_count), 1)
+    e.pe_key = key
+    e.pe_val = val
+    e.pe_next = ht[b]
+    ht[b] = e
+    root.pk_count = root.pk_count + 1
+    tx_commit()
+    return 1
+
+
+def pk_get(root, key):
+    e = pk_find(root, key)
+    if e == 0:
+        return -1
+    return e.pe_val
+
+
+def pk_delete(root, q, key):
+    ht = root.pk_ht
+    b = key % root.pk_htsize
+    e = ht[b]
+    prev = 0
+    while e != 0:
+        if e.pe_key == key:
+            tx_begin()
+            if prev == 0:
+                tx_add(addr(ht[b]), 1)
+                ht[b] = e.pe_next
+            else:
+                tx_add(addr(prev.pe_next), 1)
+                prev.pe_next = e.pe_next
+            tx_add(addr(root.pk_count), 1)
+            root.pk_count = root.pk_count - 1
+            tx_commit()
+            n = q[0]
+            if n < 512:
+                q[1 + n] = e
+                q[0] = n + 1
+            return 1
+        prev = e
+        e = e.pe_next
+    return 0
+
+
+def pk_lazy_free(q):
+    n = q[0]
+    i = 0
+    while i < n:
+        thread_yield()
+        pm_free(q[1 + i])
+        i = i + 1
+    q[0] = 0
+    return n
+
+
+def pk_check(root, key):
+    e = pk_find(root, key)
+    assert_true(e != 0, "check: key missing")
+    return e.pe_val
+
+
+def pk_recover(root):
+    n = 0
+    ht = root.pk_ht
+    size = root.pk_htsize
+    b = 0
+    while b < size:
+        e = ht[b]
+        while e != 0:
+            k = e.pe_key
+            v = e.pe_val
+            n = n + 1
+            e = e.pe_next
+        b = b + 1
+    root.pk_count = n
+    persist(addr(root.pk_count), 1)
+    return n
+
+
+def pk_scan(root, limit):
+    n = 0
+    ht = root.pk_ht
+    size = root.pk_htsize
+    b = 0
+    while b < size:
+        e = ht[b]
+        steps = 0
+        while e != 0:
+            if steps > limit:
+                return -1
+            n = n + 1
+            steps = steps + 1
+            e = e.pe_next
+        b = b + 1
+    return n
+
+
+def pk_count(root):
+    return root.pk_count
+
+
+def __driver__():
+    root = pk_init()
+    q = pk_make_queue()
+    pk_put(root, 1, 2)
+    pk_get(root, 1)
+    pk_check(root, 1)
+    pk_delete(root, q, 1)
+    pk_lazy_free(q)
+    pk_recover(root)
+    pk_scan(root, 10)
+    pk_count(root)
+    return 0
+'''
+
+
+class PmemkvAdapter(SystemAdapter):
+    """Harness adapter for mini-PMEMKV."""
+
+    NAME = "pmemkv"
+    STRUCTS = STRUCTS
+    SOURCE = SOURCE
+    INIT_FN = "pk_init"
+    RECOVER_FN = "pk_recover"
+
+    ENTRY_WORDS = len(STRUCTS["kventry"])
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.queue = 0
+
+    def start(self) -> None:
+        super().start()
+        self.queue = self.call("pk_make_queue")
+
+    def restart(self) -> None:
+        super().restart()
+        # the pending-free queue is volatile: it does not survive a crash
+        self.queue = self.call("pk_make_queue")
+
+    def insert(self, key: int, value: int) -> int:
+        return self.call("pk_put", self.root, key, value)
+
+    def lookup(self, key: int) -> int:
+        return self.call("pk_get", self.root, key)
+
+    def delete(self, key: int) -> int:
+        """Unlink now; the block is freed only when ``drain`` runs."""
+        return self.call("pk_delete", self.root, self.queue, key)
+
+    def drain(self) -> int:
+        """Run the asynchronous free thread to completion."""
+        return self.call("pk_lazy_free", self.queue)
+
+    def count_items(self) -> int:
+        return self.call("pk_count", self.root)
+
+    def check_key(self, key: int) -> None:
+        self.call("pk_check", self.root, key)
+
+    def consistency_violations(self) -> List[str]:
+        violations = []
+        count = self.count_items()
+        scanned = self.call("pk_scan", self.root, count + 64)
+        if scanned == -1:
+            violations.append("hash chain corrupt (walk exceeded bound)")
+        elif scanned != count:
+            violations.append(f"count {count} != scanned entries {scanned}")
+        return violations
+
+    def expected_item_words(self) -> int:
+        return (
+            self.count_items() * self.ENTRY_WORDS
+            + 64
+            + len(STRUCTS["kvroot"])
+        )

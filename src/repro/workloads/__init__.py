@@ -1,0 +1,12 @@
+"""Workload generators: a YCSB-style mix plus custom insert benchmarks.
+
+The paper drives Redis/Memcached with YCSB (4 threads, 3M ops, 50/50
+read-write) and PMEMKV/Pelikan/CCEH with custom insert benchmarks
+(Section 6.7).  These generators produce the same request shapes at
+laptop scale, seeded for determinism.
+"""
+
+from repro.workloads.generators import MixedWorkload, Op, OpKind
+from repro.workloads.ycsb import YCSBWorkload, zipf_keys
+
+__all__ = ["Op", "OpKind", "MixedWorkload", "YCSBWorkload", "zipf_keys"]

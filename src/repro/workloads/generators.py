@@ -1,0 +1,97 @@
+"""Seeded request-stream generators for the experiment harness."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterator, Optional, Set
+
+
+class OpKind(Enum):
+    INSERT = "insert"
+    GET = "get"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One request: kind, key and (for inserts) a value."""
+
+    kind: OpKind
+    key: int
+    value: int = 0
+
+
+#: values are large so that corrupted pointers land far outside the pool
+VALUE_BASE = 900_000_000
+
+
+class MixedWorkload:
+    """A seeded insert-heavy mix with gets and occasional deletes.
+
+    ``exclude_keys``/``exclude_buckets`` steer the stream away from
+    poisoned keys or hash buckets — the mechanism scenarios use to let a
+    persisted corruption sit dormant while unrelated updates accumulate
+    (which is what defeats time-ordered rollback in the paper).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        keyspace: int = 4096,
+        insert_ratio: float = 0.55,
+        get_ratio: float = 0.40,
+        exclude: Optional[Callable[[int], bool]] = None,
+    ):
+        self.rng = random.Random(seed)
+        self.keyspace = keyspace
+        self.insert_ratio = insert_ratio
+        self.get_ratio = get_ratio
+        self.exclude = exclude
+        self._next_key = 0
+        self.inserted: Set[int] = set()
+
+    def _fresh_key(self) -> int:
+        while True:
+            key = self._next_key
+            self._next_key += 1
+            if self.exclude is None or not self.exclude(key):
+                return key
+
+    def _existing_key(self) -> Optional[int]:
+        if not self.inserted:
+            return None
+        candidates = sorted(self.inserted)
+        for _ in range(8):
+            key = candidates[self.rng.randrange(len(candidates))]
+            if self.exclude is None or not self.exclude(key):
+                return key
+        return None
+
+    def next_op(self) -> Op:
+        """Draw the next request according to the configured mix."""
+        roll = self.rng.random()
+        if roll < self.insert_ratio or not self.inserted:
+            key = self._fresh_key()
+            self.inserted.add(key)
+            return Op(OpKind.INSERT, key, VALUE_BASE + key)
+        if roll < self.insert_ratio + self.get_ratio:
+            key = self._existing_key()
+            if key is None:
+                key = self._fresh_key()
+                self.inserted.add(key)
+                return Op(OpKind.INSERT, key, VALUE_BASE + key)
+            return Op(OpKind.GET, key)
+        key = self._existing_key()
+        if key is None:
+            key = self._fresh_key()
+            self.inserted.add(key)
+            return Op(OpKind.INSERT, key, VALUE_BASE + key)
+        self.inserted.discard(key)
+        return Op(OpKind.DELETE, key)
+
+    def ops(self, n: int) -> Iterator[Op]:
+        """Yield ``n`` consecutive requests."""
+        for _ in range(n):
+            yield self.next_op()

@@ -1,0 +1,117 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.compiler import compile_module
+from repro.lang.interp import Machine
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PMPool
+from repro.pmem.tx import TransactionManager
+
+#: a small linked-list key-value program used by many compiler/analysis
+#: tests — large enough to exercise loops, calls, structs and PM flows
+KV_STRUCTS = {
+    "kvroot": ["kv_count", "kv_head"],
+    "kvnode": ["kn_key", "kn_value", "kn_next"],
+}
+
+KV_SOURCE = '''
+def kv_init():
+    root = get_root()
+    if root == 0:
+        root = pm_alloc(sizeof("kvroot"))
+        root.kv_count = 0
+        root.kv_head = 0
+        persist(root, sizeof("kvroot"))
+        set_root(root)
+    return root
+
+
+def kv_put(root, key, value):
+    node = pm_alloc(sizeof("kvnode"))
+    node.kn_key = key
+    node.kn_value = value
+    node.kn_next = root.kv_head
+    persist(node, sizeof("kvnode"))
+    root.kv_head = node
+    root.kv_count = root.kv_count + 1
+    persist(addr(root.kv_head), 1)
+    persist(addr(root.kv_count), 1)
+    return node
+
+
+def kv_get(root, key):
+    node = root.kv_head
+    while node != 0:
+        if node.kn_key == key:
+            return node.kn_value
+        node = node.kn_next
+    return -1
+
+
+def kv_delete(root, key):
+    node = root.kv_head
+    prev = 0
+    while node != 0:
+        if node.kn_key == key:
+            if prev == 0:
+                root.kv_head = node.kn_next
+                persist(addr(root.kv_head), 1)
+            else:
+                prev.kn_next = node.kn_next
+                persist(addr(prev.kn_next), 1)
+            root.kv_count = root.kv_count - 1
+            persist(addr(root.kv_count), 1)
+            pm_free(node)
+            return 1
+        prev = node
+        node = node.kn_next
+    return 0
+
+
+def kv_count(root):
+    return root.kv_count
+
+
+def __driver__():
+    root = kv_init()
+    kv_put(root, 1, 2)
+    kv_get(root, 1)
+    kv_delete(root, 1)
+    kv_count(root)
+    return 0
+'''
+
+
+@pytest.fixture
+def pool():
+    return PMPool(4096, name="testpool")
+
+
+@pytest.fixture
+def allocator(pool):
+    return PMAllocator(pool)
+
+
+@pytest.fixture
+def txman(pool):
+    return TransactionManager(pool)
+
+
+@pytest.fixture(scope="session")
+def kv_module():
+    return compile_module("kv", KV_SOURCE, structs=KV_STRUCTS)
+
+
+@pytest.fixture
+def kv_machine(kv_module):
+    return Machine(kv_module, pool_size=4096)
+
+
+def compile_and_run(source, fname, *args, structs=None, pool_size=4096, seed=0):
+    """Compile a one-off PMLang program and run one function."""
+    module = compile_module("t", source, structs=structs or {})
+    machine = Machine(module, pool_size=pool_size, seed=seed)
+    return machine.call(fname, *args), machine

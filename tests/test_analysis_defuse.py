@@ -1,0 +1,69 @@
+"""Tests for reaching definitions and def-use chains."""
+
+from repro.analysis.defuse import compute_defuse, is_param_def, param_def_id
+from repro.lang.compiler import compile_module
+
+
+def _defuse(src, fname="f"):
+    module = compile_module("t", src)
+    func = module.functions[fname]
+    return module, func, compute_defuse(func)
+
+
+def test_param_reaches_first_use():
+    module, func, du = _defuse("def f(a):\n    return a + 1\n")
+    binop = next(i for i in func.instructions() if i.op == "binop")
+    defs = du.reaching_defs(binop.iid, "a")
+    assert defs == {param_def_id(0)}
+    assert all(is_param_def(d) for d in defs)
+
+
+def test_straight_line_single_def():
+    src = "def f():\n    x = 1\n    y = x + 1\n    return y\n"
+    module, func, du = _defuse(src)
+    use = next(i for i in func.instructions() if i.op == "binop")
+    (def_id,) = du.reaching_defs(use.iid, "x")
+    assert module.instr(def_id).op == "mov"
+
+
+def test_branch_merges_definitions():
+    src = (
+        "def f(c):\n"
+        "    x = 1\n"
+        "    if c:\n        x = 2\n"
+        "    return x + 0\n"
+    )
+    module, func, du = _defuse(src)
+    use = [i for i in func.instructions() if i.op == "binop" and i.args[0] == "+"][-1]
+    defs = du.reaching_defs(use.iid, "x")
+    assert len(defs) == 2  # both assignments reach the merge
+
+
+def test_redefinition_kills_previous():
+    src = "def f():\n    x = 1\n    x = 2\n    return x + 0\n"
+    module, func, du = _defuse(src)
+    use = [i for i in func.instructions() if i.op == "binop"][-1]
+    (def_id,) = du.reaching_defs(use.iid, "x")
+    # the reaching def moves the constant 2
+    mov = module.instr(def_id)
+    const = module.instr(
+        next(i.iid for i in func.instructions() if i.iid < def_id and i.dst == mov.args[0])
+    )
+    assert const.args[0] == 2
+
+
+def test_loop_carried_definition_reaches_header():
+    src = (
+        "def f(n):\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        i = i + 1\n"
+        "    return i\n"
+    )
+    module, func, du = _defuse(src)
+    # the loop condition's use of i sees both the init and the increment
+    cond = next(
+        i for i in func.instructions() if i.op == "binop" and i.args[0] == "<"
+    )
+    defs = du.reaching_defs(cond.iid, "i")
+    assert len(defs) == 2

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_faults(capsys):
+    assert main(["list-faults"]) == 0
+    out = capsys.readouterr().out
+    assert "f1" in out and "f12" in out
+    assert "memcached" in out and "pmemkv" in out
+
+
+def test_study(capsys):
+    assert main(["study"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "logic error" in out
+    assert "Type II" in out
+
+
+def test_analyze(capsys):
+    assert main(["analyze", "--system", "pmemkv"]) == 0
+    out = capsys.readouterr().out
+    assert "PDG edges" in out
+    assert "PM instructions" in out
+
+
+def test_run_fast_fault(capsys):
+    assert main(["run", "--fault", "f11", "--solution", "arthas"]) == 0
+    out = capsys.readouterr().out
+    assert "recovered=True" in out
+
+
+def test_run_failing_solution_returns_nonzero(capsys):
+    assert main(["run", "--fault", "f11", "--solution", "arckpt"]) == 1
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--fault", "f99"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])

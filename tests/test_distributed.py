@@ -1,0 +1,130 @@
+"""Tests for the distributed recovery extension (paper Section 7)."""
+
+import pytest
+
+from repro.detector.monitor import Detector
+from repro.distributed.cluster import Cluster, ClusterClient, vc_leq, vc_less, vc_merge
+from repro.distributed.recovery import DistributedReactor
+from repro.errors import Trap
+
+
+class TestVectorClocks:
+    def test_ordering(self):
+        assert vc_leq((1, 2), (1, 2))
+        assert vc_less((1, 2), (2, 2))
+        assert not vc_less((1, 2), (1, 2))
+        assert not vc_less((2, 1), (1, 2))  # concurrent
+
+    def test_merge(self):
+        assert vc_merge((1, 5), (3, 2)) == (3, 5)
+
+
+class TestCluster:
+    def test_routing_and_lookup(self):
+        cluster = Cluster(n_nodes=3)
+        client = ClusterClient(cluster, 0)
+        for key in range(12):
+            client.insert(key, 100 + key)
+        assert all(client.lookup(k) == 100 + k for k in range(12))
+        # keys spread over all nodes
+        assert {cluster.node_for(k) for k in range(12)} == {0, 1, 2}
+
+    def test_oplog_records_sequence_spans(self):
+        cluster = Cluster(n_nodes=2)
+        client = ClusterClient(cluster, 0)
+        rec = client.insert(4, 7)
+        assert rec.first_seq <= rec.last_seq
+        node = cluster.nodes[rec.node]
+        assert node.ckpt.log.max_seq() >= rec.last_seq
+
+    def test_vector_clocks_capture_causality(self):
+        cluster = Cluster(n_nodes=3, n_clients=2)
+        a = ClusterClient(cluster, 0)
+        b = ClusterClient(cluster, 1)
+        r1 = a.insert(0, 1)      # client 0 on node 0
+        r2 = a.insert(1, 2)      # client 0 on node 1: after r1
+        r3 = b.insert(2, 3)      # client 1 on node 2: independent of r1
+        assert vc_less(r1.vc, r2.vc)
+        assert not vc_less(r1.vc, r3.vc)
+
+    def test_read_creates_causal_edge(self):
+        cluster = Cluster(n_nodes=2, n_clients=2)
+        a = ClusterClient(cluster, 0)
+        b = ClusterClient(cluster, 1)
+        r1 = a.insert(0, 41)
+        b.lookup(0)              # b observes node 0's state
+        r2 = b.insert(1, 42)     # now causally after r1
+        assert vc_less(r1.vc, r2.vc)
+
+    def test_derived_insert(self):
+        cluster = Cluster(n_nodes=2)
+        client = ClusterClient(cluster, 0)
+        r1 = client.insert(0, 10)
+        r2 = client.derived_insert(0, 1)
+        assert r2 is not None
+        assert client.lookup(1) == 11
+        assert vc_less(r1.vc, r2.vc)
+        assert client.derived_insert(99, 3) is None  # missing source
+
+
+class TestDistributedRecovery:
+    def _poisoned_cluster(self):
+        """Node 0 wedged by the memcached f1 bug; cross-node dependents."""
+        cluster = Cluster(n_nodes=3, n_clients=2)
+        a = ClusterClient(cluster, 0)
+        b = ClusterClient(cluster, 1)
+        for key in range(30):
+            a.insert(key, 500 + key)
+        node0 = cluster.nodes[0]
+        victim = 0  # a key on node 0
+        while node0.call("mc_refcount", node0.root, victim) != 0:
+            node0.lookup(victim)
+        node0.reap()
+        poison_key = victim + 3 * (1 << 20)  # node 0, same bucket
+        assert cluster.node_for(poison_key) == 0
+        poison_op = b.insert(poison_key, 999)
+        # b reads the poisoned insert's node, then writes derived data on
+        # other nodes: cross-node causal dependents of the poisoned op
+        dep1 = b.insert(poison_key + 1, 1000)  # node 1, after poison
+        dep2 = b.insert(poison_key + 2, 1001)  # node 2, after poison
+        # client a keeps working independently (no new reads of node 0)
+        indep = a.insert(31, 531)  # node 1, concurrent with the poison
+        probe = victim + 5 * (1 << 20)
+        return cluster, poison_op, (dep1, dep2), indep, probe
+
+    def test_cascading_recovery(self):
+        cluster, poison_op, deps, indep, probe = self._poisoned_cluster()
+        node0 = cluster.nodes[0]
+        detector = Detector()
+        outcome = detector.observe(
+            node0.machine, lambda: node0.lookup(probe)
+        )
+        assert not outcome.ok and outcome.fault.kind == "hang"
+
+        reactor = DistributedReactor(cluster)
+
+        def verify():
+            assert node0.lookup(probe) == -1
+
+        report = reactor.mitigate(0, outcome.fault.iid, verify)
+        assert report.recovered
+        # the poisoned insert was discarded locally
+        assert any(op.op_id == poison_op.op_id for op in report.discarded_ops)
+        # its causal dependents on other nodes were cascaded
+        cascaded_ids = {op.op_id for op in report.cascaded_ops}
+        assert deps[0].op_id in cascaded_ids
+        assert deps[1].op_id in cascaded_ids
+        # ...and are gone from their nodes
+        assert cluster.nodes[deps[0].node].lookup(deps[0].key) == -1
+        # the independent concurrent op survived
+        if indep.op_id not in cascaded_ids:
+            assert cluster.nodes[indep.node].lookup(indep.key) == 531
+
+    def test_no_cascade_without_dependents(self):
+        cluster = Cluster(n_nodes=2, n_clients=1)
+        client = ClusterClient(cluster, 0)
+        r1 = client.insert(0, 1)
+        reactor = DistributedReactor(cluster)
+        # nothing discarded -> nothing cascades
+        orphans = reactor._orphans_of([])
+        assert orphans == []

@@ -1,0 +1,68 @@
+"""The empirical-study dataset must reproduce the paper's aggregates."""
+
+import pytest
+
+from repro.faults.study import (
+    STUDY_BUGS,
+    bugs_per_system,
+    consequence_distribution,
+    propagation_distribution,
+    root_cause_distribution,
+)
+
+
+def test_total_bug_count():
+    assert len(STUDY_BUGS) == 28
+
+
+def test_table1_counts():
+    counts = bugs_per_system()
+    assert counts[("cceh", "new")] == 1
+    assert counts[("dash", "new")] == 1
+    assert counts[("pmemkv", "new")] == 2
+    assert counts[("levelhash", "new")] == 2
+    assert counts[("recipe", "new")] == 2
+    assert counts[("memcached", "ported")] == 9
+    assert counts[("redis", "ported")] == 11
+    assert sum(n for (s, o), n in counts.items() if o == "new") == 8
+    assert sum(n for (s, o), n in counts.items() if o == "ported") == 20
+
+
+def test_figure2_root_causes():
+    dist = root_cause_distribution()
+    assert dist["logic error"] == pytest.approx(46.4, abs=0.5)
+    assert dist["race condition"] == pytest.approx(17.9, abs=0.5)
+    assert dist["integer overflow"] == pytest.approx(10.7, abs=0.5)
+    assert dist["buffer overflow"] == pytest.approx(10.7, abs=0.5)
+    assert dist["memory leak"] == pytest.approx(10.7, abs=0.5)
+    assert dist["hardware fault"] == pytest.approx(3.6, abs=0.5)
+    assert sum(dist.values()) == pytest.approx(100.0)
+
+
+def test_figure3_consequences():
+    dist = consequence_distribution()
+    assert dist["repeated crash"] == pytest.approx(32.1, abs=0.5)
+    assert dist["wrong result"] == pytest.approx(21.4, abs=0.5)
+    assert dist["persistent leak"] == pytest.approx(14.3, abs=0.5)
+    assert dist["repeated hang"] == pytest.approx(10.7, abs=0.5)
+    assert dist["out of space"] == pytest.approx(7.1, abs=0.5)
+    assert dist["data loss"] == pytest.approx(7.1, abs=0.5)
+    assert dist["corruption"] == pytest.approx(7.1, abs=0.5)
+
+
+def test_propagation_types():
+    dist = propagation_distribution()
+    assert dist["Type I"] == pytest.approx(17.9, abs=0.5)
+    assert dist["Type II"] == pytest.approx(67.9, abs=0.5)
+    assert dist["Type III"] == pytest.approx(14.3, abs=0.5)
+
+
+def test_named_paper_cases_present():
+    text = " ".join(b.description for b in STUDY_BUGS)
+    for marker in ("f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8"):
+        assert f"({marker})" in text
+
+
+def test_bug_ids_unique():
+    ids = [b.bug_id for b in STUDY_BUGS]
+    assert len(ids) == len(set(ids))

@@ -1,0 +1,86 @@
+"""Tests for GUID assignment, metadata files and the runtime tracer."""
+
+from repro.analysis import analyze_module
+from repro.instrument.guids import GuidMap, guid_for
+from repro.instrument.passes import instrument_module, uninstrument_module
+from repro.instrument.tracer import PMTrace
+from repro.lang.interp import Machine
+
+
+def test_instrument_marks_exactly_pm_instrs(kv_module):
+    res = analyze_module(kv_module)
+    guid_map, seconds = instrument_module(kv_module, res.pm)
+    marked = {i.iid for i in kv_module.instructions() if i.guid is not None}
+    assert marked == res.pm.pm_instr_iids
+    assert len(guid_map) == len(marked)
+    assert seconds >= 0
+
+
+def test_guid_roundtrip(kv_module):
+    res = analyze_module(kv_module)
+    guid_map, _ = instrument_module(kv_module, res.pm)
+    for instr in kv_module.instructions():
+        if instr.guid is not None:
+            assert guid_map.iid_of(instr.guid) == instr.iid
+            assert guid_map.guid_of(instr.iid) == instr.guid
+            entry = guid_map.entry(instr.guid)
+            assert entry.op == instr.op
+            assert entry.location == instr.location()
+
+
+def test_metadata_file_roundtrip(kv_module, tmp_path):
+    res = analyze_module(kv_module)
+    guid_map, _ = instrument_module(kv_module, res.pm)
+    path = tmp_path / "guids.json"
+    guid_map.save(str(path))
+    loaded = GuidMap.load(str(path))
+    assert len(loaded) == len(guid_map)
+    some = next(i for i in kv_module.instructions() if i.guid)
+    assert loaded.iid_of(some.guid) == some.iid
+
+
+def test_uninstrument_strips_guids(kv_module):
+    res = analyze_module(kv_module)
+    instrument_module(kv_module, res.pm)
+    uninstrument_module(kv_module)
+    assert all(i.guid is None for i in kv_module.instructions())
+    # re-instrument for other tests sharing the session module
+    instrument_module(kv_module, res.pm)
+
+
+def test_trace_records_pm_addresses(kv_module):
+    res = analyze_module(kv_module)
+    instrument_module(kv_module, res.pm)
+    trace = PMTrace(flush_threshold=4)
+    machine = Machine(kv_module)
+    machine.tracer = trace.record
+    root = machine.call("kv_init")
+    machine.call("kv_put", root, 1, 10)
+    machine.call("kv_get", root, 1)
+    trace.flush()
+    assert len(trace.records) > 0
+    assert trace.addresses_for_guid(guid_for("kv", next(
+        i for i in kv_module.functions["kv_put"].instructions() if i.op == "alloc"
+    )))
+
+
+def test_trace_buffering_and_crash():
+    trace = PMTrace(flush_threshold=100)
+    trace.record("g1", 0x1000)
+    assert len(trace.records) == 0  # buffered
+    assert len(trace) == 1
+    trace.crash()
+    assert len(trace) == 0  # buffered records lost, like a real crash
+    trace.record("g1", 0x1000)
+    trace.record("g1", 0x2000)
+    trace.flush()
+    assert trace.addresses_for_guid("g1") == {0x1000, 0x2000}
+    assert trace.guids_for_address(0x1000) == {"g1"}
+    assert trace.addresses_for_guids(["g1", "gX"]) == {0x1000, 0x2000}
+
+
+def test_trace_auto_flush_at_threshold():
+    trace = PMTrace(flush_threshold=2)
+    trace.record("a", 1)
+    trace.record("b", 2)  # hits the threshold
+    assert len(trace.records) == 2

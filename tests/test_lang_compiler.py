@@ -1,0 +1,231 @@
+"""Tests for the PMLang compiler: codegen correctness and rejection."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.compiler import compile_module
+from repro.lang.interp import Machine
+from tests.conftest import compile_and_run
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        src = "def f(a, b):\n    return (a + b) * 2 - a // b + a % b\n"
+        out, _ = compile_and_run(src, "f", 7, 3)
+        assert out == (7 + 3) * 2 - 7 // 3 + 7 % 3
+
+    def test_bitwise_and_shifts(self):
+        src = "def f(a, b):\n    return ((a & b) | (a ^ b)) + (a << 2) + (a >> 1)\n"
+        out, _ = compile_and_run(src, "f", 12, 10)
+        assert out == ((12 & 10) | (12 ^ 10)) + (12 << 2) + (12 >> 1)
+
+    def test_comparisons(self):
+        src = (
+            "def f(a, b):\n"
+            "    return (a < b) + (a <= b) * 10 + (a == b) * 100"
+            " + (a != b) * 1000 + (a > b) * 10000 + (a >= b) * 100000\n"
+        )
+        out, _ = compile_and_run(src, "f", 5, 5)
+        assert out == 0 + 10 + 100 + 0 + 0 + 100000
+
+    def test_unary_ops(self):
+        src = "def f(a):\n    return (not a) + (-a) + (~a)\n"
+        out, _ = compile_and_run(src, "f", 5)
+        assert out == 0 + (-5) + (~5)
+
+    def test_bool_literals(self):
+        src = "def f():\n    x = True\n    y = False\n    return x * 10 + y\n"
+        assert compile_and_run(src, "f")[0] == 10
+
+    def test_short_circuit_and(self):
+        src = (
+            "def f(p):\n"
+            "    count = valloc(1)\n"
+            "    r = p != 0 and bump(count) > 0\n"
+            "    return count[0]\n"
+            "def bump(c):\n"
+            "    c[0] = c[0] + 1\n"
+            "    return c[0]\n"
+        )
+        assert compile_and_run(src, "f", 0)[0] == 0  # right side skipped
+        assert compile_and_run(src, "f", 1)[0] == 1
+
+    def test_short_circuit_or(self):
+        src = (
+            "def f(p):\n"
+            "    count = valloc(1)\n"
+            "    r = p != 0 or bump(count) > 0\n"
+            "    return count[0]\n"
+            "def bump(c):\n"
+            "    c[0] = c[0] + 1\n"
+            "    return c[0]\n"
+        )
+        assert compile_and_run(src, "f", 1)[0] == 0  # right side skipped
+        assert compile_and_run(src, "f", 0)[0] == 1
+
+
+class TestControlFlow:
+    def test_if_elif_else(self):
+        src = (
+            "def f(x):\n"
+            "    if x > 10:\n        return 1\n"
+            "    elif x > 5:\n        return 2\n"
+            "    else:\n        return 3\n"
+        )
+        assert compile_and_run(src, "f", 20)[0] == 1
+        assert compile_and_run(src, "f", 7)[0] == 2
+        assert compile_and_run(src, "f", 1)[0] == 3
+
+    def test_while_with_break_continue(self):
+        src = (
+            "def f(n):\n"
+            "    total = 0\n"
+            "    i = 0\n"
+            "    while True:\n"
+            "        i = i + 1\n"
+            "        if i > n:\n            break\n"
+            "        if i % 2 == 0:\n            continue\n"
+            "        total = total + i\n"
+            "    return total\n"
+        )
+        assert compile_and_run(src, "f", 10)[0] == 1 + 3 + 5 + 7 + 9
+
+    def test_for_range_variants(self):
+        src = (
+            "def f():\n"
+            "    s = 0\n"
+            "    for i in range(5):\n        s = s + i\n"
+            "    for i in range(2, 5):\n        s = s + i * 10\n"
+            "    for i in range(10, 0, -2):\n        s = s + i * 100\n"
+            "    return s\n"
+        )
+        expected = sum(range(5)) + sum(i * 10 for i in range(2, 5))
+        # negative steps produce an empty loop (the condition is i < stop)
+        assert compile_and_run(src, "f")[0] == expected
+
+    def test_both_arms_return(self):
+        src = "def f(x):\n    if x:\n        return 1\n    else:\n        return 2\n"
+        assert compile_and_run(src, "f", 1)[0] == 1
+        assert compile_and_run(src, "f", 0)[0] == 2
+
+    def test_nested_calls_and_recursion(self):
+        src = (
+            "def fib(n):\n"
+            "    if n < 2:\n        return n\n"
+            "    return fib(n - 1) + fib(n - 2)\n"
+        )
+        assert compile_and_run(src, "fib", 10)[0] == 55
+
+    def test_aug_assign_targets(self):
+        src = (
+            "def f():\n"
+            "    a = valloc(2)\n"
+            "    a[0] = 1\n"
+            "    a[0] += 5\n"
+            "    x = 2\n"
+            "    x *= 3\n"
+            "    return a[0] * 100 + x\n"
+        )
+        assert compile_and_run(src, "f")[0] == 606
+
+
+class TestStructsAndMemory:
+    def test_field_access(self):
+        src = (
+            'def f():\n'
+            '    p = pm_alloc(sizeof("pair"))\n'
+            '    p.pr_a = 11\n'
+            '    p.pr_b = 22\n'
+            '    p.pr_a += 1\n'
+            '    return p.pr_a * 100 + p.pr_b\n'
+        )
+        out, _ = compile_and_run(src, "f", structs={"pair": ["pr_a", "pr_b"]})
+        assert out == 1222
+
+    def test_addr_of_field_and_index(self):
+        src = (
+            'def f():\n'
+            '    p = pm_alloc(sizeof("pair"))\n'
+            '    p.pr_b = 5\n'
+            '    q = addr(p.pr_b)\n'
+            '    arr = valloc(4)\n'
+            '    arr[2] = 7\n'
+            '    r = addr(arr[2])\n'
+            '    return q - p + r - arr\n'
+        )
+        out, _ = compile_and_run(src, "f", structs={"pair": ["pr_a", "pr_b"]})
+        assert out == 1 + 2
+
+    def test_sizeof(self):
+        src = 'def f():\n    return sizeof("pair")\n'
+        out, _ = compile_and_run(src, "f", structs={"pair": ["pr_a", "pr_b"]})
+        assert out == 2
+
+    def test_docstrings_allowed(self):
+        src = '"""module doc"""\n\ndef f():\n    "fn doc"\n    return 1\n'
+        assert compile_and_run(src, "f")[0] == 1
+
+
+class TestRejection:
+    def cases(self):
+        return [
+            "x = 1\n",  # module-level statement
+            "def f(*args):\n    return 0\n",  # varargs
+            "def f():\n    x, y = 1, 2\n    return x\n",  # tuple assign
+            "def f():\n    return [1]\n",  # list literal
+            "def f():\n    return 1.5\n",  # float
+            "def f():\n    for x in items:\n        pass\n    return 0\n",
+            "def f():\n    return g()\n",  # undefined function
+            "def f():\n    return sizeof('nope')\n",  # unknown struct
+            "def f(p):\n    return p.no_such_field\n",  # unknown field
+            "def f():\n    return pm_alloc(1, 2)\n",  # intrinsic arity
+            "def f():\n    return panic('x')\n",  # void intrinsic as value
+            "def f():\n    assert_true(1, 2)\n    return 0\n",  # msg not str
+            "def f():\n    break\n",  # break outside loop
+            "def f():\n    return addr(f)\n",  # addr of non-lvalue
+            "def f(a):\n    return a < 1 < 2\n",  # chained comparison
+            "def f():\n    try:\n        pass\n    except Exception:\n        pass\n    return 0\n",
+        ]
+
+    def test_all_rejected(self):
+        for src in self.cases():
+            with pytest.raises(CompileError):
+                compile_module("bad", src)
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError):
+            compile_module("bad", "def f():\n    return 1\ndef f():\n    return 2\n")
+
+    def test_conflicting_field_offsets(self):
+        with pytest.raises(CompileError):
+            compile_module(
+                "bad",
+                "def f():\n    return 0\n",
+                structs={"a": ["x", "y"], "b": ["y"]},  # y at offsets 1 and 0
+            )
+
+    def test_call_arity_checked(self):
+        with pytest.raises(CompileError):
+            compile_module(
+                "bad", "def f():\n    return g(1)\ndef g(a, b):\n    return a\n"
+            )
+
+
+class TestIRShape:
+    def test_blocks_have_terminators(self, kv_module):
+        for func in kv_module.functions.values():
+            for label in func.block_order:
+                assert func.blocks[label].terminator is not None
+
+    def test_instruction_ids_unique_and_indexed(self, kv_module):
+        iids = [i.iid for i in kv_module.instructions()]
+        assert len(iids) == len(set(iids))
+        for instr in kv_module.instructions():
+            assert kv_module.instr(instr.iid) is instr
+
+    def test_printer_renders(self, kv_module):
+        from repro.lang.printer import format_module
+
+        text = format_module(kv_module)
+        assert "kv_put" in text
+        assert "getroot" in text

@@ -1,0 +1,60 @@
+"""Tests for the libpmem-style convenience API (native persistence)."""
+
+import pytest
+
+from repro.errors import PoolError
+from repro.pmem import persist as libpmem
+from repro.pmem.pool import PM_BASE
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    libpmem._mapped.clear()
+
+
+def test_map_file_creates_and_reopens():
+    pool1 = libpmem.pmem_map_file("/pools/a", 256)
+    pool1.durable_write(PM_BASE + 1, 7)
+    pool2 = libpmem.pmem_map_file("/pools/a", 256)
+    assert pool2 is pool1  # same mapping
+    assert pool2.read(PM_BASE + 1) == 7
+
+
+def test_map_file_size_mismatch_rejected():
+    libpmem.pmem_map_file("/pools/a", 256)
+    with pytest.raises(PoolError):
+        libpmem.pmem_map_file("/pools/a", 512)
+
+
+def test_unmap_drops_pool():
+    libpmem.pmem_map_file("/pools/a", 256)
+    libpmem.pmem_unmap("/pools/a")
+    fresh = libpmem.pmem_map_file("/pools/a", 256)
+    assert fresh.read(PM_BASE + 1) == 0
+
+
+def test_persist_flush_drain():
+    pool = libpmem.pmem_map_file("/pools/b", 256)
+    pool.write(PM_BASE, 5)
+    libpmem.pmem_flush(pool, PM_BASE, 1)
+    pool.crash()
+    assert pool.read(PM_BASE) == 0  # flushed but never drained
+
+    pool.write(PM_BASE, 5)
+    libpmem.pmem_flush(pool, PM_BASE, 1)
+    libpmem.pmem_drain(pool)
+    pool.crash()
+    assert pool.read(PM_BASE) == 5
+
+    pool.write(PM_BASE + 9, 6)
+    libpmem.pmem_persist(pool, PM_BASE + 9, 1)
+    pool.crash()
+    assert pool.read(PM_BASE + 9) == 6
+
+
+def test_memcpy_persist():
+    pool = libpmem.pmem_map_file("/pools/c", 256)
+    libpmem.pmem_memcpy_persist(pool, PM_BASE + 4, [1, 2, 3])
+    pool.crash()
+    assert pool.read_range(PM_BASE + 4, 3) == [1, 2, 3]

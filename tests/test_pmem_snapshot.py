@@ -1,0 +1,43 @@
+"""Tests for whole-pool snapshot/restore (the pmCRIU substrate)."""
+
+from repro.pmem.pool import PM_BASE, PMPool
+from repro.pmem.snapshot import restore_snapshot, take_snapshot
+
+
+def test_snapshot_restore_roundtrip(pool, allocator):
+    a = allocator.zalloc(4)
+    pool.write(a, 7)
+    pool.persist(a, 1)
+    snap = take_snapshot(pool, allocator, taken_at=12.5, label="ckpt1")
+    pool.write(a, 99)
+    pool.persist(a, 1)
+    b = allocator.zalloc(4)
+    restore_snapshot(pool, snap, allocator)
+    assert pool.read(a) == 7
+    assert allocator.is_allocated(a)
+    assert not allocator.is_allocated(b)
+    assert snap.taken_at == 12.5
+    assert snap.label == "ckpt1"
+
+
+def test_snapshot_excludes_unpersisted_writes(pool, allocator):
+    a = allocator.zalloc(2)
+    pool.write(a, 5)  # buffered only
+    snap = take_snapshot(pool, allocator)
+    pool.crash()
+    restore_snapshot(pool, snap, allocator)
+    assert pool.read(a) == 0
+
+
+def test_snapshot_size_counts_nonzero_words(pool):
+    pool.durable_write(PM_BASE + 1, 5)
+    pool.durable_write(PM_BASE + 2, 6)
+    snap = take_snapshot(pool)
+    assert snap.size_words() == 2
+
+
+def test_restore_clears_later_state(pool):
+    snap = take_snapshot(pool)
+    pool.durable_write(PM_BASE + 3, 9)
+    restore_snapshot(pool, snap)
+    assert pool.read(PM_BASE + 3) == 0

@@ -1,0 +1,120 @@
+"""Tests for undo-log transactions."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.pmem.pool import PM_BASE
+from repro.pmem.tx import TransactionManager
+
+
+def test_commit_persists_added_ranges(pool, txman):
+    txman.begin()
+    txman.add(PM_BASE + 4, 2)
+    pool.write(PM_BASE + 4, 7)
+    pool.write(PM_BASE + 5, 8)
+    txman.commit()
+    pool.crash()
+    assert pool.read(PM_BASE + 4) == 7
+    assert pool.read(PM_BASE + 5) == 8
+
+
+def test_abort_restores_pre_tx_values(pool, txman):
+    pool.write(PM_BASE + 4, 1)
+    pool.persist(PM_BASE + 4, 1)
+    txman.begin()
+    txman.add(PM_BASE + 4, 1)
+    pool.write(PM_BASE + 4, 99)
+    txman.abort()
+    assert pool.read(PM_BASE + 4) == 1
+    assert pool.durable_read(PM_BASE + 4) == 1
+
+
+def test_crash_mid_tx_loses_writes(pool, txman):
+    txman.begin()
+    txman.add(PM_BASE + 4, 1)
+    pool.write(PM_BASE + 4, 99)
+    pool.crash()
+    txman.reset()
+    assert pool.read(PM_BASE + 4) == 0
+
+
+def test_nested_begin_flattens(pool, txman):
+    txman.begin()
+    txman.begin()
+    txman.add(PM_BASE, 1)
+    pool.write(PM_BASE, 5)
+    txman.commit()  # inner: must not persist yet
+    pool.crash()
+    assert pool.read(PM_BASE) == 0
+
+
+def test_nested_outer_commit_persists(pool, txman):
+    txman.begin()
+    txman.begin()
+    txman.add(PM_BASE, 1)
+    pool.write(PM_BASE, 5)
+    txman.commit()
+    txman.commit()
+    pool.crash()
+    assert pool.read(PM_BASE) == 5
+
+
+def test_per_context_transactions_are_independent(pool, txman):
+    t1 = txman.begin(ctx=1)
+    t2 = txman.begin(ctx=2)
+    assert t1 != t2
+    txman.add(PM_BASE, 1, ctx=1)
+    pool.write(PM_BASE, 5)
+    txman.add(PM_BASE + 1, 1, ctx=2)
+    pool.write(PM_BASE + 1, 6)
+    txman.commit(ctx=1)
+    assert txman.active(ctx=2)
+    assert not txman.active(ctx=1)
+    txman.commit(ctx=2)
+    pool.crash()
+    assert pool.read(PM_BASE) == 5
+    assert pool.read(PM_BASE + 1) == 6
+
+
+def test_misuse_raises(txman):
+    with pytest.raises(TransactionError):
+        txman.add(PM_BASE, 1)
+    with pytest.raises(TransactionError):
+        txman.commit()
+    with pytest.raises(TransactionError):
+        txman.abort()
+
+
+def test_commit_hooks_see_tx_id_and_ranges(pool, txman):
+    events = []
+    txman.add_begin_hook(lambda t: events.append(("begin", t)))
+    txman.add_commit_hook(lambda t, r: events.append(("commit", t, r)))
+    tid = txman.begin()
+    txman.add(PM_BASE, 2)
+    txman.commit()
+    assert events == [("begin", tid), ("commit", tid, [(PM_BASE, 2)])]
+
+
+def test_persist_hook_sees_committing_tx_id(pool, txman):
+    observed = []
+    pool.add_persist_hook(
+        lambda a, n, v, t: observed.append((t, txman.current_tx_id))
+    )
+    tid = txman.begin()
+    txman.add(PM_BASE, 1)
+    pool.write(PM_BASE, 1)
+    txman.commit()
+    assert observed == [("tx-commit", tid)]
+    assert txman.current_tx_id == 0
+
+
+def test_abort_unwinds_overlapping_adds_in_reverse(pool, txman):
+    pool.write(PM_BASE, 1)
+    pool.persist(PM_BASE, 1)
+    txman.begin()
+    txman.add(PM_BASE, 1)  # snapshot: 1
+    pool.write(PM_BASE, 2)
+    txman.add(PM_BASE, 1)  # snapshot: 2 (buffered)
+    pool.write(PM_BASE, 3)
+    txman.abort()
+    assert pool.read(PM_BASE) == 1

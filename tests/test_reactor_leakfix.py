@@ -1,0 +1,67 @@
+"""Tests for persistent-memory-leak mitigation (Section 4.7)."""
+
+from repro.checkpoint.log import CheckpointLog
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PMPool
+from repro.reactor.leakfix import find_leaked_objects, mitigate_leak
+
+
+def _stack():
+    pool = PMPool(2048)
+    allocator = PMAllocator(pool)
+    log = CheckpointLog()
+    return pool, allocator, log
+
+
+def _tracked_alloc(allocator, log, n):
+    addr = allocator.zalloc(n)
+    log.record_alloc(addr, n)
+    return addr
+
+
+def test_finds_unreachable_unfreed_blocks():
+    pool, allocator, log = _stack()
+    live = _tracked_alloc(allocator, log, 4)
+    leaked = _tracked_alloc(allocator, log, 4)
+    recovery_touched = set(range(live, live + 4))
+    found = find_leaked_objects(log, allocator, recovery_touched)
+    assert found == {leaked: 4}
+
+
+def test_freed_blocks_not_reported():
+    pool, allocator, log = _stack()
+    gone = _tracked_alloc(allocator, log, 4)
+    allocator.free(gone)
+    log.record_free(gone, 4)
+    assert find_leaked_objects(log, allocator, set()) == {}
+
+
+def test_partially_touched_block_is_live():
+    pool, allocator, log = _stack()
+    block = _tracked_alloc(allocator, log, 8)
+    # recovery touched just one word of it: still reachable
+    found = find_leaked_objects(log, allocator, {block + 5})
+    assert block not in found
+
+
+def test_protected_blocks_never_reported():
+    pool, allocator, log = _stack()
+    root = _tracked_alloc(allocator, log, 4)
+    found = find_leaked_objects(log, allocator, set(), protect={root})
+    assert root not in found
+
+
+def test_mitigate_frees_confirmed_leaks():
+    pool, allocator, log = _stack()
+    leaked = _tracked_alloc(allocator, log, 6)
+    freed = mitigate_leak(allocator, {leaked: 6}, confirm=True)
+    assert freed == 6
+    assert not allocator.is_allocated(leaked)
+
+
+def test_mitigate_without_confirmation_is_noop():
+    pool, allocator, log = _stack()
+    leaked = _tracked_alloc(allocator, log, 6)
+    freed = mitigate_leak(allocator, {leaked: 6}, confirm=False)
+    assert freed == 0
+    assert allocator.is_allocated(leaked)

@@ -1,0 +1,351 @@
+"""Tests for the reversion engine: purge, rollback, repair, guards."""
+
+from repro.checkpoint.log import CheckpointLog
+from repro.detector.monitor import RunOutcome
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PM_BASE, PMPool
+from repro.reactor.plan import Candidate, ReversionPlan
+from repro.reactor.revert import Reverter
+
+
+def _stack(max_versions=3):
+    pool = PMPool(2048)
+    allocator = PMAllocator(pool)
+    log = CheckpointLog(max_versions=max_versions)
+    return pool, allocator, log
+
+
+def _reverter(pool, allocator, log, outcomes=None, **kw):
+    outcomes = list(outcomes or [])
+
+    def reexec():
+        return outcomes.pop(0) if outcomes else RunOutcome(ok=True)
+
+    return Reverter(log, pool, allocator, reexec=reexec, **kw)
+
+
+def _persist(pool, log, addr, values, tx_id=0):
+    for i, v in enumerate(values):
+        pool.durable_write(addr + i, v)
+    return log.record_update(addr, len(values), list(values), tx_id=tx_id)
+
+
+class TestRevertUpdateSeq:
+    def test_revert_to_previous_version(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(2)
+        s1 = _persist(pool, log, a, [1, 2])
+        s2 = _persist(pool, log, a, [9, 9])
+        rev = _reverter(pool, allocator, log)
+        assert rev.revert_update_seq(s2)
+        assert pool.durable_read(a) == 1
+        assert pool.durable_read(a + 1) == 2
+
+    def test_first_ever_version_is_not_blindly_unwritten(self):
+        """Reverting an entry's only version has no recorded pre-image;
+        the reactor skips it rather than zero-fill (which could un-write
+        a system's initialisation)."""
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(2)
+        s1 = _persist(pool, log, a, [5, 6])
+        rev = _reverter(pool, allocator, log)
+        assert not rev.revert_update_seq(s1)
+        assert pool.durable_read(a) == 5
+
+    def test_uninformed_reversion_skipped_when_history_evicted(self):
+        pool, allocator, log = _stack(max_versions=2)
+        a = allocator.zalloc(1)
+        for v in range(5):
+            _persist(pool, log, a, [v])
+        entry = log.entries[a]
+        oldest_retained = entry.versions[0].seq
+        rev = _reverter(pool, allocator, log)
+        # reverting the oldest retained version cannot know the true
+        # pre-state; the floor re-applies that version (effective no-op)
+        rev.revert_update_seq(oldest_retained)
+        assert pool.durable_read(a) == entry.versions[0].data[0]
+
+    def test_steps_back_reaches_older_versions(self):
+        pool, allocator, log = _stack(max_versions=5)
+        a = allocator.zalloc(1)
+        seqs = [_persist(pool, log, a, [v]) for v in (10, 20, 30)]
+        rev = _reverter(pool, allocator, log)
+        assert rev.revert_update_seq(seqs[2], steps_back=2)
+        assert pool.durable_read(a) == 10
+
+    def test_overlapping_entries_reconstructed(self):
+        """A wide persist covering neighbours must restore them from
+        their own entries, not zeros (the buffer-overflow case)."""
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(4)
+        b = allocator.zalloc(4)
+        assert b == a + 4
+        _persist(pool, log, a, [1, 1, 1, 1])
+        _persist(pool, log, b, [2, 2, 2, 2])
+        # overflow: one persist covering both blocks with junk
+        s_bad = _persist(pool, log, a, [7, 7, 7, 7, 7, 7, 7, 7])
+        rev = _reverter(pool, allocator, log)
+        assert rev.revert_update_seq(s_bad)
+        assert [pool.durable_read(a + i) for i in range(4)] == [1, 1, 1, 1]
+        assert [pool.durable_read(b + i) for i in range(4)] == [2, 2, 2, 2]
+
+    def test_mixed_size_versions_at_same_base(self):
+        """Whole-struct persist then field persist at the same address."""
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(4)
+        _persist(pool, log, a, [1, 2, 3, 4])  # whole struct
+        s_field = _persist(pool, log, a, [9])  # field 0 only
+        s_bad = _persist(pool, log, a + 3, [77])
+        rev = _reverter(pool, allocator, log)
+        assert rev.revert_update_seq(s_bad)
+        # word 3 restored from the whole-struct version
+        assert pool.durable_read(a + 3) == 4
+        # word 0 keeps the newer field persist
+        assert pool.durable_read(a) == 9
+
+    def test_non_update_seq_rejected(self):
+        pool, allocator, log = _stack()
+        s = log.record_alloc(PM_BASE + 64, 4)
+        rev = _reverter(pool, allocator, log)
+        assert not rev.revert_update_seq(s)
+
+
+class TestDanglingGuard:
+    def test_unfrees_referenced_block(self):
+        pool, allocator, log = _stack()
+        slot = allocator.zalloc(1)
+        item = allocator.zalloc(4)
+        s1 = _persist(pool, log, slot, [item])
+        s2 = _persist(pool, log, slot, [0])  # delete: unlink...
+        log.record_free(item, 4)
+        allocator.free(item)  # ...and free
+        rev = _reverter(pool, allocator, log)
+        assert rev.revert_update_seq(s2, guard_dangling=True)
+        assert pool.durable_read(slot) == item
+        assert allocator.is_allocated(item)  # the free was reverted too
+
+    def test_skips_when_unfree_impossible(self):
+        pool, allocator, log = _stack()
+        slot = allocator.zalloc(1)
+        item = allocator.zalloc(4)
+        s1 = _persist(pool, log, slot, [item + 2])  # interior pointer
+        s2 = _persist(pool, log, slot, [0])
+        log.record_free(item, 4)
+        allocator.free(item)
+        other = allocator.zalloc(2)  # reuses the front of the freed range
+        assert other == item
+        rev = _reverter(pool, allocator, log)
+        # item+2 is free but its covering free event cannot be reverted
+        # (the range is partially reused), so the reversion is skipped
+        assert not rev.revert_update_seq(s2, guard_dangling=True)
+        assert pool.durable_read(slot) == 0  # untouched
+
+
+class TestRollback:
+    def test_rollback_reverts_everything_after_cut(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        b = allocator.zalloc(1)
+        s1 = _persist(pool, log, a, [1])
+        s2 = _persist(pool, log, b, [2])
+        s3 = _persist(pool, log, a, [10])
+        s4 = _persist(pool, log, b, [20])
+        rev = _reverter(pool, allocator, log)
+        reverted = rev.rollback_to_before(s3)
+        assert set(reverted) == {s3, s4}
+        assert pool.durable_read(a) == 1
+        assert pool.durable_read(b) == 2
+
+    def test_rollback_unfrees_and_frees_allocs(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(4)
+        pad = allocator.zalloc(2)  # barrier: keeps a's hole isolated
+        log.record_alloc(a, 4)
+        cut = log.max_seq() + 1
+        # after the cut: free a, then allocate b (bigger than a's hole,
+        # so it lands at a fresh address rather than reusing a's extent)
+        log.record_free(a, 4)
+        allocator.free(a)
+        b = allocator.zalloc(8)
+        log.record_alloc(b, 8)
+        assert b != a
+        del pad
+        rev = _reverter(pool, allocator, log)
+        rev.rollback_to_before(cut)
+        assert allocator.is_allocated(a)
+        assert not allocator.is_allocated(b)
+
+
+class TestStrategies:
+    def _plan(self, log, seqs, fault_iid=0):
+        cands = []
+        for s in seqs:
+            ev = log.event(s)
+            cands.append(Candidate(seq=s, addr=ev.addr, guid="g", slice_iid=-1))
+        return ReversionPlan(fault_iid=fault_iid, candidates=cands)
+
+    def test_purge_stops_at_first_success(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        s1 = _persist(pool, log, a, [1])
+        s2 = _persist(pool, log, a, [2])
+        outcomes = [RunOutcome(ok=True)]
+        rev = _reverter(pool, allocator, log, outcomes)
+        res = rev.mitigate_purge(self._plan(log, [s2, s1]))
+        assert res.recovered
+        assert res.attempts == 1
+        assert pool.durable_read(a) == 1
+
+    def test_purge_marches_until_success(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        b = allocator.zalloc(1)
+        _persist(pool, log, a, [1])
+        _persist(pool, log, b, [1])
+        s2 = _persist(pool, log, b, [2])
+        s3 = _persist(pool, log, a, [3])
+        outcomes = [
+            RunOutcome(ok=False, violation="still broken"),
+            RunOutcome(ok=True),
+        ]
+        rev = _reverter(pool, allocator, log, outcomes)
+        res = rev.mitigate_purge(self._plan(log, [s3, s2]))
+        assert res.recovered
+        assert res.attempts == 2
+        assert pool.durable_read(a) == 1
+        assert pool.durable_read(b) == 1
+
+    def test_purge_empty_plan_aborts(self):
+        pool, allocator, log = _stack()
+        rev = _reverter(pool, allocator, log)
+        res = rev.mitigate_purge(ReversionPlan(fault_iid=0))
+        assert not res.recovered
+        assert res.aborted_empty_plan
+
+    def test_purge_tx_closure(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        b = allocator.zalloc(1)
+        _persist(pool, log, a, [1], tx_id=0)
+        _persist(pool, log, b, [1], tx_id=0)
+        log.record_tx_begin(5)
+        sa = _persist(pool, log, a, [7], tx_id=5)
+        sb = _persist(pool, log, b, [8], tx_id=5)
+        log.record_tx_commit(5)
+        outcomes = [RunOutcome(ok=True)]
+        rev = _reverter(pool, allocator, log, outcomes)
+        res = rev.mitigate_purge(self._plan(log, [sb]))
+        assert res.recovered
+        # reverting one member reverted the whole transaction
+        assert pool.durable_read(a) == 1
+        assert pool.durable_read(b) == 1
+
+    def test_rollback_strategy(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        b = allocator.zalloc(1)
+        s1 = _persist(pool, log, a, [1])
+        s2 = _persist(pool, log, a, [2])
+        s3 = _persist(pool, log, b, [3])
+        outcomes = [RunOutcome(ok=True)]
+        rev = _reverter(pool, allocator, log, outcomes)
+        res = rev.mitigate_rollback(self._plan(log, [s2]))
+        assert res.recovered
+        assert pool.durable_read(a) == 1
+        assert pool.durable_read(b) == 0  # s3 was after the cut
+
+    def test_batch_mode_groups_reverts(self):
+        pool, allocator, log = _stack()
+        addrs = [allocator.zalloc(1) for _ in range(4)]
+        seqs = []
+        for x in addrs:
+            _persist(pool, log, x, [1])
+        for x in addrs:
+            seqs.append(_persist(pool, log, x, [9]))
+        outcomes = [RunOutcome(ok=False, violation="no"), RunOutcome(ok=True)]
+        rev = _reverter(pool, allocator, log, outcomes)
+        res = rev.mitigate_purge(self._plan(log, list(reversed(seqs))), batch_size=2)
+        assert res.recovered
+        assert res.attempts == 2
+        assert res.discarded_updates == 4
+
+    def test_new_fault_stops_strategy(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        s1 = _persist(pool, log, a, [1])
+        s2 = _persist(pool, log, a, [2])
+        from repro.lang.interp import FaultInfo
+
+        new_fault = FaultInfo(iid=999, kind="assert", message="other", location="x")
+        outcomes = [RunOutcome(ok=False, fault=new_fault)]
+        rev = _reverter(pool, allocator, log, outcomes, known_faults={1})
+        res = rev.mitigate_purge(self._plan(log, [s2, s1]))
+        assert not res.recovered
+        assert res.attempts == 1
+        assert "new fault" in res.notes
+
+    def test_timeout(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        seqs = [_persist(pool, log, a, [v]) for v in range(3)]
+        rev = _reverter(
+            pool,
+            allocator,
+            log,
+            [RunOutcome(ok=False, violation="x")] * 50,
+            timeout_seconds=5.0,
+            reexec_delay=lambda: 4.0,
+        )
+        res = rev.mitigate_purge(self._plan(log, list(reversed(seqs))))
+        assert not res.recovered
+        assert res.timed_out
+
+
+class TestDivergenceRepair:
+    def test_repairs_out_of_band_corruption(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(2)
+        s1 = _persist(pool, log, a, [5, 6])
+        pool.durable_write(a, 4)  # bit flip, bypassing persistence
+        outcomes = [RunOutcome(ok=True)]
+        rev = _reverter(pool, allocator, log, outcomes)
+        plan = ReversionPlan(
+            fault_iid=0,
+            candidates=[Candidate(seq=s1, addr=a, guid="g", slice_iid=-1)],
+        )
+        res = rev.mitigate_purge(plan)
+        assert res.recovered
+        assert res.attempts == 1
+        assert pool.durable_read(a) == 5  # repaired, not reverted
+        assert "divergent" in res.notes
+
+    def test_no_repair_when_consistent(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        s1 = _persist(pool, log, a, [5])
+        rev = _reverter(pool, allocator, log)
+        plan = ReversionPlan(
+            fault_iid=0,
+            candidates=[Candidate(seq=s1, addr=a, guid="g", slice_iid=-1)],
+        )
+        assert rev.repair_divergence(plan) == []
+
+    def test_repair_disabled_flag(self):
+        pool, allocator, log = _stack()
+        a = allocator.zalloc(1)
+        s1 = _persist(pool, log, a, [5])
+        pool.durable_write(a, 4)
+        rev = _reverter(
+            pool, allocator, log,
+            [RunOutcome(ok=False, violation="x"), RunOutcome(ok=True)],
+            enable_divergence_repair=False,
+        )
+        plan = ReversionPlan(
+            fault_iid=0,
+            candidates=[Candidate(seq=s1, addr=a, guid="g", slice_iid=-1)],
+        )
+        res = rev.mitigate_purge(plan)
+        # without repair nothing re-applies the logged value, and the only
+        # version has no recorded pre-image, so nothing changes at all
+        assert pool.durable_read(a) == 4
+        assert not res.recovered

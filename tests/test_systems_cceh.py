@@ -1,0 +1,99 @@
+"""Tests for the CCEH target system and the directory-doubling bug."""
+
+import pytest
+
+from repro.errors import HangTrap, InjectedCrash, Trap
+from repro.systems.cceh import CCEHAdapter
+
+
+@pytest.fixture
+def cc():
+    adapter = CCEHAdapter()
+    adapter.start()
+    return adapter
+
+
+class TestBasicOps:
+    def test_insert_get(self, cc):
+        cc.insert(1, 11)
+        assert cc.lookup(1) == 11
+        assert cc.lookup(2) == -1
+
+    def test_update_existing(self, cc):
+        cc.insert(1, 11)
+        cc.insert(1, 22)
+        assert cc.lookup(1) == 22
+        assert cc.count_items() == 1
+
+    def test_delete(self, cc):
+        cc.insert(1, 11)
+        cc.insert(2, 22)
+        assert cc.delete(1) == 1
+        assert cc.lookup(1) == -1
+        assert cc.lookup(2) == 22
+        assert cc.delete(1) == 0
+
+    def test_growth_through_splits_and_doubling(self, cc):
+        for k in range(200):
+            cc.insert(k, k * 3)
+        assert all(cc.lookup(k) == k * 3 for k in range(200))
+        assert cc.consistency_violations() == []
+        gd = cc.pool.read(cc.root + cc.STRUCTS["ccroot"].index("cc_gd"))
+        assert gd > 2  # the directory doubled at least once
+
+    def test_restart_preserves_data(self, cc):
+        for k in range(50):
+            cc.insert(k, k)
+        cc.restart()
+        cc.recover()
+        assert all(cc.lookup(k) == k for k in range(50))
+        assert cc.consistency_violations() == []
+
+
+class TestF9DoublingBug:
+    def test_crash_before_depth_bump_wedges_inserts(self, cc):
+        iid = cc.double_crash_iid()
+
+        def crash(machine, thread, instr):
+            raise InjectedCrash("untimely", location=instr.location())
+
+        cc.machine.add_injection(iid, crash)
+        key = 0
+        stuck = None
+        for key in range(2000):
+            try:
+                cc.insert(key, key)
+            except InjectedCrash:
+                stuck = key
+                break
+        assert stuck is not None
+        cc.restart()  # injection dies with the machine
+        cc.recover()
+        # metadata is inconsistent: dircap was doubled, depth was not
+        assert cc.consistency_violations()
+        with pytest.raises(HangTrap):
+            cc.insert(stuck, stuck)
+        # and it recurs after another restart: a hard fault
+        cc.restart()
+        cc.recover()
+        with pytest.raises(HangTrap):
+            cc.insert(stuck, stuck)
+
+    def test_lookups_still_work_in_wedged_state(self, cc):
+        iid = cc.double_crash_iid()
+        cc.machine.add_injection(
+            iid,
+            lambda m, t, i: (_ for _ in ()).throw(
+                InjectedCrash("untimely", location=i.location())
+            ),
+        )
+        inserted = []
+        for key in range(2000):
+            try:
+                cc.insert(key, key)
+                inserted.append(key)
+            except InjectedCrash:
+                break
+        cc.restart()
+        cc.recover()
+        assert all(cc.lookup(k) == k for k in inserted)

@@ -1,0 +1,125 @@
+"""Tests for the mini-Memcached target system and its seeded bugs."""
+
+import pytest
+
+from repro.errors import HangTrap, SegfaultTrap, Trap
+from repro.systems.memcached import MemcachedAdapter
+from repro.workloads.generators import VALUE_BASE
+
+
+@pytest.fixture
+def mc():
+    adapter = MemcachedAdapter()
+    adapter.start()
+    return adapter
+
+
+class TestBasicOps:
+    def test_set_get(self, mc):
+        mc.insert(1, 100)
+        assert mc.lookup(1) == 100
+        assert mc.lookup(2) == -1
+
+    def test_update_in_place(self, mc):
+        mc.insert(1, 100)
+        mc.insert(1, 200)
+        assert mc.lookup(1) == 200
+        assert mc.count_items() == 1
+
+    def test_delete(self, mc):
+        mc.insert(1, 100)
+        assert mc.delete(1) == 1
+        assert mc.lookup(1) == -1
+        assert mc.delete(1) == 0
+        assert mc.count_items() == 0
+
+    def test_append_within_capacity(self, mc):
+        mc.insert(1, 100)
+        assert mc.append(1, 2, 7) == 1
+        assert mc.append(1, 10, 7) == -1  # over capacity, honest reject
+
+    def test_many_keys_and_consistency(self, mc):
+        for k in range(120):
+            mc.insert(k, VALUE_BASE + k)
+        assert mc.count_items() == 120
+        assert mc.consistency_violations() == []
+        assert all(mc.lookup(k) == VALUE_BASE + k for k in range(120))
+
+    def test_expansion_preserves_items(self, mc):
+        for k in range(150):  # crosses the 2x64 threshold
+            mc.insert(k, k)
+        assert mc._root_field("m_htsize") == 128
+        assert all(mc.lookup(k) == k for k in range(150))
+        assert mc.consistency_violations() == []
+
+
+class TestRestartRecovery:
+    def test_items_survive_restart(self, mc):
+        for k in range(20):
+            mc.insert(k, k * 2)
+        mc.restart()
+        mc.recover()
+        assert all(mc.lookup(k) == k * 2 for k in range(20))
+
+    def test_recovery_recomputes_counters(self, mc):
+        for k in range(10):
+            mc.insert(k, k)
+        # corrupt the persisted counter out-of-band
+        addr = mc.root + mc.STRUCTS["mroot"].index("m_count")
+        mc.pool.durable_write(addr, 999)
+        mc.restart()
+        mc.recover()
+        assert mc.count_items() == 10
+        assert mc.consistency_violations() == []
+
+    def test_recovery_returns_touched_addresses(self, mc):
+        mc.insert(1, 1)
+        mc.restart()
+        touched = mc.recover()
+        assert touched, "recovery must trace PM accesses"
+
+
+class TestSeededBugs:
+    def test_f1_refcount_wrap_builds_self_loop(self, mc):
+        for k in range(10):
+            mc.insert(k, k)
+        victim = 3
+        while mc.call("mc_refcount", mc.root, victim) != 0:
+            mc.lookup(victim)
+        mc.reap()
+        poison = victim + (1 << 20)
+        mc.insert(poison, 1)
+        with pytest.raises(HangTrap):
+            mc.lookup(victim + (1 << 21))  # absent key, same bucket
+        # the corruption is persistent: recurs after restart
+        mc.restart()
+        with pytest.raises(Trap):
+            mc.recover()
+
+    def test_f2_flush_all_lazily_expires_valid_items(self, mc):
+        mc.insert(1, 10)
+        now = mc._root_field("m_time")
+        mc.flush_all(now + 1000)
+        assert mc.lookup(1) == -1  # wrongly expired on access
+        assert mc.count_items() == 0
+
+    def test_f4_append_overflow_corrupts_neighbours(self, mc):
+        for k in range(40):
+            mc.insert(k, 900_000_000 + k)
+        assert mc.append(3, 257, 987_654_321) == 1  # wrapped check passes
+        with pytest.raises(SegfaultTrap):
+            for k in range(40):
+                mc.lookup(k)
+
+    def test_f5_bitflip_redirects_lookups(self, mc):
+        for k in range(10):
+            mc.insert(k, k)
+        addr = mc.root + mc.STRUCTS["mroot"].index("m_rehashing")
+        mc.pool.durable_write(addr, 1)
+        mc.restart()
+        assert mc.lookup(3) == -1  # all lookups miss via the null old table
+
+    def test_expected_item_words_tracks_count(self, mc):
+        before = mc.expected_item_words()
+        mc.insert(1, 1)
+        assert mc.expected_item_words() == before + mc.ITEM_WORDS

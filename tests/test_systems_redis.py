@@ -1,0 +1,95 @@
+"""Tests for the mini-Redis target system and its seeded bugs."""
+
+import pytest
+
+from repro.errors import AssertTrap, SegfaultTrap
+from repro.systems.redis import RedisAdapter
+
+
+@pytest.fixture
+def rd():
+    adapter = RedisAdapter()
+    adapter.start()
+    return adapter
+
+
+class TestBasicOps:
+    def test_set_get_delete(self, rd):
+        rd.insert(1, 11)
+        assert rd.lookup(1) == 11
+        assert rd.delete(1) == 1
+        assert rd.lookup(1) == -1
+
+    def test_getset_returns_old_value(self, rd):
+        rd.insert(1, 11)
+        assert rd.getset(1, 22) == 11
+        assert rd.lookup(1) == 22
+
+    def test_copy_shares_object(self, rd):
+        rd.insert(1, 11)
+        assert rd.copy(2, 1) == 1
+        assert rd.lookup(2) == 11
+        assert rd.count_items() == 2
+
+    def test_listpack_push_and_range(self, rd):
+        rd.lpush(100, 3, 7)
+        rd.lpush(100, 2, 9)
+        assert rd.lrange(100) == 3 * 7 + 2 * 9
+
+    def test_listpack_grows_via_realloc(self, rd):
+        for _ in range(10):
+            rd.lpush(100, 10, 1)  # exceeds the initial 64-word capacity
+        assert rd.lrange(100) == 100
+        assert rd.consistency_violations() == []
+
+    def test_slowlog_trim_keeps_bound(self, rd):
+        for i in range(20):
+            rd.slow_op(100 + i)
+        assert rd.call("rd_slowlen", rd.root) <= 9
+
+    def test_restart_preserves_data(self, rd):
+        rd.insert(1, 11)
+        rd.lpush(100, 2, 5)
+        rd.restart()
+        rd.recover()
+        assert rd.lookup(1) == 11
+        assert rd.lrange(100) == 10
+
+
+class TestSeededBugs:
+    def test_f6_large_element_corrupts_neighbour_listpack(self, rd):
+        from repro.errors import Trap
+
+        rd.lpush(100, 3, 7)
+        rd.lpush(101, 3, 11)   # physically after 100's block
+        assert rd.lpush(100, 300, 900_000_000) == 1  # wrapped check passes
+        # the spill breaks invariants — checking them either reports
+        # violations or crashes outright on the corrupt structures
+        try:
+            assert rd.consistency_violations()
+        except Trap:
+            pass
+        with pytest.raises(SegfaultTrap):
+            rd.lrange(101)
+
+    def test_f7_double_decrement_panics_shared_object(self, rd):
+        rd.insert(1, 11)
+        rd.copy(2, 1)
+        rd.getset(1, 22)  # double-decrements the shared object
+        with pytest.raises(AssertTrap):
+            rd.lookup(2)
+        # persistent: recurs after restart
+        rd.restart()
+        rd.recover()
+        with pytest.raises(AssertTrap):
+            rd.lookup(2)
+
+    def test_f8_trim_leaks_blocks(self, rd):
+        used_before = rd.allocator.used_words()
+        expected_growth = 0
+        for i in range(40):
+            rd.slow_op(i)
+        # bounded list (8 entries) but unbounded allocation growth
+        live_words = rd.call("rd_slowlen", rd.root) * 3
+        leaked = rd.allocator.used_words() - used_before - live_words
+        assert leaked >= 30 * 3  # ~32 unlinked-but-unfreed entries

@@ -1,0 +1,73 @@
+"""Tests for workload generators."""
+
+from repro.workloads.generators import MixedWorkload, Op, OpKind
+from repro.workloads.ycsb import YCSBWorkload, zipf_keys
+
+
+class TestMixedWorkload:
+    def test_deterministic_for_seed(self):
+        a = list(MixedWorkload(seed=5).ops(100))
+        b = list(MixedWorkload(seed=5).ops(100))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(MixedWorkload(seed=1).ops(100))
+        b = list(MixedWorkload(seed=2).ops(100))
+        assert a != b
+
+    def test_mix_ratios_roughly_hold(self):
+        ops = list(MixedWorkload(seed=3, insert_ratio=0.5, get_ratio=0.4).ops(1000))
+        inserts = sum(1 for o in ops if o.kind is OpKind.INSERT)
+        gets = sum(1 for o in ops if o.kind is OpKind.GET)
+        assert 380 <= inserts <= 620
+        assert 280 <= gets <= 520
+
+    def test_first_op_is_insert(self):
+        assert MixedWorkload(seed=0).next_op().kind is OpKind.INSERT
+
+    def test_exclusion_respected(self):
+        wl = MixedWorkload(seed=4, exclude=lambda k: k % 7 == 0)
+        for op in wl.ops(300):
+            assert op.key % 7 != 0
+
+    def test_gets_and_deletes_target_inserted_keys(self):
+        wl = MixedWorkload(seed=6)
+        seen = set()
+        for op in wl.ops(300):
+            if op.kind is OpKind.INSERT:
+                seen.add(op.key)
+            elif op.kind is OpKind.GET:
+                assert op.key in seen
+            else:
+                assert op.key in seen
+                seen.discard(op.key)
+
+
+class TestYCSB:
+    def test_zipf_prefers_low_ranks(self):
+        keys = zipf_keys(5000, keyspace=100, theta=0.9, seed=1)
+        low = sum(1 for k in keys if k < 10)
+        high = sum(1 for k in keys if k >= 90)
+        assert low > high * 3
+
+    def test_zipf_uniform_when_theta_zero(self):
+        keys = zipf_keys(5000, keyspace=10, theta=0.0, seed=1)
+        counts = [keys.count(i) for i in range(10)]
+        assert max(counts) < 2.2 * min(counts)
+
+    def test_load_phase_covers_keyspace(self):
+        wl = YCSBWorkload(seed=0, keyspace=32)
+        keys = {op.key for op in wl.load_ops()}
+        assert keys == set(range(32))
+
+    def test_run_phase_mix(self):
+        wl = YCSBWorkload(seed=0, keyspace=64, read_ratio=0.5)
+        ops = list(wl.run_ops(1000))
+        reads = sum(1 for o in ops if o.kind is OpKind.GET)
+        assert 380 <= reads <= 620
+        assert all(0 <= o.key < 64 for o in ops)
+
+    def test_deterministic(self):
+        a = list(YCSBWorkload(seed=9, keyspace=16).run_ops(50))
+        b = list(YCSBWorkload(seed=9, keyspace=16).run_ops(50))
+        assert a == b
