@@ -1,0 +1,67 @@
+"""Hot-path perf trajectory: indexed reactor vs the seed linear scans.
+
+Times plan computation, purge/rollback/bisect mitigation and raw VM
+throughput on a large synthetic checkpoint log (see
+:mod:`repro.harness.hotpaths`) and writes ``results/BENCH_hotpaths.json``
+so subsequent PRs can track the numbers.
+
+Run standalone (not part of the pytest matrix benchmarks)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py           # full, 50k updates
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --quick   # 5k-update smoke, <30s
+
+or via the CLI: ``python -m repro bench-hotpaths [--quick]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)  # noqa: E402
+
+from repro.harness.hotpaths import render_summary, run_and_write
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "..", "results", "BENCH_hotpaths.json"
+)
+
+#: full-size run (the acceptance number) vs the smoke-check size
+FULL_UPDATES = 50_000
+QUICK_UPDATES = 5_000
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"smoke check: {QUICK_UPDATES} updates instead of {FULL_UPDATES}",
+    )
+    parser.add_argument("--updates", type=int, default=None,
+                        help="override the synthetic log size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--vm-iters", type=int, default=50_000)
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="report path ('-' to skip writing)")
+    args = parser.parse_args(argv)
+
+    n_updates = args.updates
+    if n_updates is None:
+        n_updates = QUICK_UPDATES if args.quick else FULL_UPDATES
+    out_path = None if args.out == "-" else args.out
+    report = run_and_write(
+        n_updates=n_updates, seed=args.seed, vm_iters=args.vm_iters,
+        out_path=out_path,
+    )
+    print(render_summary(report))
+    if out_path is not None:
+        print(f"wrote {os.path.relpath(out_path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ map supports the purge mode's forward-dependency second pass
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.cfg import FunctionCFG
@@ -42,11 +42,25 @@ class PDG:
     deps: Dict[int, Set[Tuple[int, str]]] = field(default_factory=dict)
     #: u -> set of (v, kind): v depends on u
     fwd: Dict[int, Set[Tuple[int, str]]] = field(default_factory=dict)
+    #: memoized backward slices keyed by (iid, max_nodes) — the reactor
+    #: re-slices the same fault across detector/reactor rounds and the
+    #: purge->rollback fallback; the graph is immutable after build, so
+    #: add_edge invalidates (see repro.analysis.slicing)
+    _slice_cache: Dict[Tuple[int, Optional[int]], FrozenSet[int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: memoized BFS distance maps keyed by fault iid (distance_policy)
+    _dist_cache: Dict[int, Dict[int, int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add_edge(self, u: int, v: int, kind: str) -> None:
         """Record that instruction ``v`` depends on ``u`` (self-loops dropped)."""
         if u == v:
             return
+        if self._slice_cache or self._dist_cache:
+            self._slice_cache.clear()
+            self._dist_cache.clear()
         self.deps.setdefault(v, set()).add((u, kind))
         self.fwd.setdefault(u, set()).add((v, kind))
 
@@ -83,20 +97,16 @@ def build_pdg(
 
 # ----------------------------------------------------------------------
 def _add_register_data_edges(module: Module, callgraph: CallGraph, pdg: PDG) -> None:
-    for fname, func in module.functions.items():
+    for func in module.functions.values():
         defuse = compute_defuse(func)
-        call_sites = callgraph.call_sites.get(fname, [])
-        ret_iids = [
-            instr.iid for instr in func.instructions() if instr.op == "ret"
-        ]
         for instr in func.instructions():
             for reg in instr.uses():
                 for def_id in defuse.reaching_defs(instr.iid, reg):
-                    if is_param_def(def_id):
-                        # the parameter's value came from every call site
-                        for site in call_sites:
-                            pdg.add_edge(site, instr.iid, "call")
-                    else:
+                    # parameter defs carry call-site dependence, but
+                    # _add_interproc_context_edges already links every
+                    # callee instruction to every call site — adding the
+                    # same "call" edges here was pure duplicate work
+                    if not is_param_def(def_id):
                         pdg.add_edge(def_id, instr.iid, "data")
             if instr.op == "call" and instr.dst is not None:
                 callee = instr.args[0]
@@ -105,8 +115,6 @@ def _add_register_data_edges(module: Module, callgraph: CallGraph, pdg: PDG) -> 
                     i.iid for i in callee_func.instructions() if i.op == "ret"
                 ):
                     pdg.add_edge(ret_iid, instr.iid, "ret")
-        # keep linters quiet about unused ret_iids (used above inline)
-        del ret_iids
 
 
 def _add_memory_edges(module: Module, points_to: PointsToResult, pdg: PDG) -> None:

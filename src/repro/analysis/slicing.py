@@ -21,7 +21,22 @@ def backward_slice(
     ``max_nodes`` implements the paper's analysis timeout: when the slice
     grows past the limit, exploration stops and the partial (still useful,
     possibly incomplete) slice is returned.
+
+    Slices are memoized on the PDG (keyed by ``(iid, max_nodes)``):
+    detector/reactor rounds and the purge->rollback fallback re-slice the
+    same fault up to 8x per mitigation, and the graph never changes after
+    analysis (``add_edge`` invalidates).  A fresh mutable set is returned
+    on every call.
     """
+    key = (iid, max_nodes)
+    cached = pdg._slice_cache.get(key)
+    if cached is None:
+        cached = frozenset(_walk_backward(pdg, iid, max_nodes))
+        pdg._slice_cache[key] = cached
+    return set(cached)
+
+
+def _walk_backward(pdg: PDG, iid: int, max_nodes: Optional[int]) -> Set[int]:
     seen: Set[int] = {iid}
     stack = [iid]
     while stack:
@@ -71,15 +86,22 @@ def slice_distances(pdg: PDG, iid: int) -> Dict[int, int]:
 
     Supports the paper's "complex policy function" that orders candidate
     sequence numbers by slice distance and caps the maximum distance.
+
+    Memoized on the PDG per fault iid — the distance policy recomputes
+    the same BFS on every plan request of a multi-round mitigation.  A
+    fresh dict is returned on every call.
     """
-    dist: Dict[int, int] = {iid: 0}
-    frontier = [iid]
-    while frontier:
-        nxt = []
-        for node in frontier:
-            for dep, _kind in pdg.dependencies_of(node):
-                if dep not in dist:
-                    dist[dep] = dist[node] + 1
-                    nxt.append(dep)
-        frontier = nxt
-    return dist
+    cached = pdg._dist_cache.get(iid)
+    if cached is None:
+        cached = {iid: 0}
+        frontier = [iid]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for dep, _kind in pdg.dependencies_of(node):
+                    if dep not in cached:
+                        cached[dep] = cached[node] + 1
+                        nxt.append(dep)
+            frontier = nxt
+        pdg._dist_cache[iid] = cached
+    return dict(cached)

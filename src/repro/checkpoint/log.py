@@ -5,10 +5,37 @@ keeps the last ``MAX_VERSIONS`` versions of the range's data together
 with the atomic sequence number that orders all PM updates by logical
 time.  Transaction begin/commit marks and alloc/free events share the
 same sequence space so the reactor can group and order reversions.
+
+Indexes
+-------
+
+Every reactor query used to be a linear scan over all entries or all
+events, which made mitigation time quadratic in log size.  The log now
+maintains derived indexes incrementally as events are recorded:
+
+* a **sorted entry-address list** (bisect) answering "which entries could
+  cover address ``a``" in ``O(log n + w)`` where ``w`` is the number of
+  entries inside the maximum-object-size window, instead of ``O(n)``;
+* the **event stream position index** — events already arrive in
+  sequence order, so ``events_after`` is a single ``bisect_right``;
+* a **free-event address index** (per-base event lists plus a sorted
+  base-address list) answering "newest free covering address ``a``"
+  without sorting the whole event stream;
+* an incrementally maintained **live-allocation map**, replacing the
+  ``O(events)`` replay that ``live_unfreed_allocs`` used to do;
+* a windowed **newest-version-covering-word** query (``expected_word``)
+  for the reactor's divergence repair.
+
+All queries preserve the exact result (including list/dict ordering) of
+the original linear scans; :mod:`repro.checkpoint.reference` keeps the
+scan implementations for equivalence testing and benchmarking.
+Deserialized logs (``instrument.artifacts``) call
+:meth:`CheckpointLog.rebuild_indexes` after populating the raw state.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -49,6 +76,7 @@ class CheckpointEntry:
         "new_entry",
         "max_versions",
         "total_versions",
+        "order",
     )
 
     def __init__(self, address: int, max_versions: int = MAX_VERSIONS):
@@ -61,6 +89,9 @@ class CheckpointEntry:
         self.max_versions = max_versions
         #: versions ever recorded; > len(versions) when history was evicted
         self.total_versions = 0
+        #: creation rank in the owning log; windowed queries sort matches
+        #: by it so results keep the pre-index (dict-insertion) order
+        self.order = 0
 
     def add_version(self, version: Version) -> None:
         self.versions.append(version)
@@ -114,6 +145,23 @@ class CheckpointLog:
         self._event_by_seq: Dict[int, LogEvent] = {}
         # counters for the data-loss metrics
         self.total_updates = 0
+        # ---- derived indexes (kept in sync by the record_* methods) ----
+        #: entry base addresses, sorted (bisect windows)
+        self._entry_addrs: List[int] = []
+        #: widest version ever recorded anywhere; windowed interval
+        #: queries only need to look this far left of a probe address
+        self._max_version_size = 1
+        #: event seqs, parallel to ``events`` (ascending by construction)
+        self._event_seqs: List[int] = []
+        #: free events grouped by base address, each list seq-ascending
+        self._frees_by_addr: Dict[int, List[LogEvent]] = {}
+        #: sorted base addresses of free events
+        self._free_addrs: List[int] = []
+        #: widest freed block seen so far
+        self._max_free_size = 1
+        #: alloc'd-and-not-yet-freed blocks, in first-alloc order —
+        #: maintained incrementally instead of replaying all events
+        self._live_allocs: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _next(self) -> int:
@@ -124,8 +172,16 @@ class CheckpointLog:
     def _event(self, kind: str, addr: int = 0, nwords: int = 0, tx_id: int = 0) -> LogEvent:
         ev = LogEvent(self._next(), kind, addr, nwords, tx_id)
         self.events.append(ev)
+        self._event_seqs.append(ev.seq)
         self._event_by_seq[ev.seq] = ev
         return ev
+
+    def _new_entry(self, addr: int) -> CheckpointEntry:
+        entry = CheckpointEntry(addr, self.max_versions)
+        entry.order = len(self.entries)
+        self.entries[addr] = entry
+        insort(self._entry_addrs, addr)
+        return entry
 
     # ------------------------------------------------------------------
     def record_update(
@@ -139,9 +195,10 @@ class CheckpointLog:
         ev = self._event("update", addr, nwords, tx_id)
         entry = self.entries.get(addr)
         if entry is None:
-            entry = CheckpointEntry(addr, self.max_versions)
-            self.entries[addr] = entry
+            entry = self._new_entry(addr)
         entry.add_version(Version(ev.seq, tuple(values), nwords, tx_id))
+        if nwords > self._max_version_size:
+            self._max_version_size = nwords
         if tx_id:
             self.tx_members.setdefault(tx_id, []).append(ev.seq)
         self.total_updates += 1
@@ -149,11 +206,21 @@ class CheckpointLog:
 
     def record_alloc(self, addr: int, nwords: int) -> int:
         """Record a PM allocation event; returns its sequence number."""
-        return self._event("alloc", addr, nwords).seq
+        seq = self._event("alloc", addr, nwords).seq
+        self._live_allocs[addr] = nwords
+        return seq
 
     def record_free(self, addr: int, nwords: int) -> int:
         """Record a PM free event; returns its sequence number."""
-        return self._event("free", addr, nwords).seq
+        ev = self._event("free", addr, nwords)
+        self._live_allocs.pop(addr, None)
+        if addr not in self._frees_by_addr:
+            self._frees_by_addr[addr] = []
+            insort(self._free_addrs, addr)
+        self._frees_by_addr[addr].append(ev)
+        if nwords > self._max_free_size:
+            self._max_free_size = nwords
+        return ev.seq
 
     def record_tx_begin(self, tx_id: int) -> int:
         """Insert a transaction-begin mark into the event stream."""
@@ -168,10 +235,47 @@ class CheckpointLog:
         old = self.entries.get(old_addr)
         if old is not None:
             old.new_entry = new_addr
-        new = self.entries.setdefault(
-            new_addr, CheckpointEntry(new_addr, self.max_versions)
-        )
+        new = self.entries.get(new_addr)
+        if new is None:
+            new = self._new_entry(new_addr)
         new.old_entry = old_addr
+
+    # ------------------------------------------------------------------
+    def rebuild_indexes(self) -> None:
+        """Recompute every derived index from ``entries`` and ``events``.
+
+        Deserialization (:mod:`repro.instrument.artifacts`) populates the
+        raw entry/event state directly; this restores the invariants the
+        record_* methods maintain incrementally.
+        """
+        self._entry_addrs = sorted(self.entries)
+        self._max_version_size = 1
+        for order, entry in enumerate(self.entries.values()):
+            entry.order = order
+            for v in entry.versions:
+                if v.size > self._max_version_size:
+                    self._max_version_size = v.size
+        self._event_seqs = [ev.seq for ev in self.events]
+        self._frees_by_addr = {}
+        self._max_free_size = 1
+        self._live_allocs = {}
+        for ev in self.events:
+            if ev.kind == "free":
+                self._frees_by_addr.setdefault(ev.addr, []).append(ev)
+                if ev.nwords > self._max_free_size:
+                    self._max_free_size = ev.nwords
+                self._live_allocs.pop(ev.addr, None)
+            elif ev.kind == "alloc":
+                self._live_allocs[ev.addr] = ev.nwords
+        self._free_addrs = sorted(self._frees_by_addr)
+
+    def _entries_in_window(self, lo: int, hi: int) -> List[CheckpointEntry]:
+        """Entries with base address in ``[lo, hi)``, in creation order."""
+        i = bisect_left(self._entry_addrs, lo)
+        j = bisect_left(self._entry_addrs, hi, lo=i)
+        matches = [self.entries[a] for a in self._entry_addrs[i:j]]
+        matches.sort(key=lambda e: e.order)
+        return matches
 
     # ------------------------------------------------------------------
     # queries used by the reactor
@@ -183,13 +287,23 @@ class CheckpointLog:
     def entries_overlapping(self, addr: int) -> List[CheckpointEntry]:
         """Entries whose latest range covers ``addr``."""
         out = []
-        for entry in self.entries.values():
+        for entry in self._entries_in_window(
+            addr - self._max_version_size + 1, addr + 1
+        ):
             latest = entry.latest()
             if latest is None:
                 continue
             if entry.address <= addr < entry.address + latest.size:
                 out.append(entry)
         return out
+
+    def entries_possibly_overlapping(self, addr: int, size: int) -> List[CheckpointEntry]:
+        """Entries whose *any* retained version could overlap
+        ``[addr, addr+size)`` — a superset filter for range
+        reconstruction (callers re-check per version)."""
+        return self._entries_in_window(
+            addr - self._max_version_size + 1, addr + size
+        )
 
     def update_seqs_for_address(self, addr: int) -> List[int]:
         """Sequence numbers of all retained versions covering ``addr``."""
@@ -213,14 +327,48 @@ class CheckpointLog:
 
     def events_after(self, seq: int) -> List[LogEvent]:
         """All events with sequence number strictly greater than ``seq``."""
-        return [ev for ev in self.events if ev.seq > seq]
+        return self.events[bisect_right(self._event_seqs, seq):]
+
+    def update_addrs_since(self, seq: int) -> List[int]:
+        """Addresses with an update event at-or-after ``seq``, each listed
+        once, ordered by the owning entry's creation rank (the order the
+        pre-index reactor visited them)."""
+        seen: set = set()
+        for ev in self.events_after(seq - 1):
+            if ev.kind == "update":
+                seen.add(ev.addr)
+        addrs = list(seen)
+        addrs.sort(key=lambda a: self.entries[a].order)
+        return addrs
+
+    def newest_free_covering(self, target: int) -> Optional[LogEvent]:
+        """The newest free event whose block contains ``target``."""
+        best: Optional[LogEvent] = None
+        i = bisect_left(self._free_addrs, target - self._max_free_size + 1)
+        j = bisect_right(self._free_addrs, target, lo=i)
+        for base in self._free_addrs[i:j]:
+            for ev in reversed(self._frees_by_addr[base]):
+                if ev.addr <= target < ev.addr + ev.nwords:
+                    if best is None or ev.seq > best.seq:
+                        best = ev
+                    break
+        return best
+
+    def expected_word(self, addr: int) -> Optional[int]:
+        """Value the newest retained version covering ``addr`` holds for
+        it (None when no logged range covers the address)."""
+        best_seq = -1
+        best_val: Optional[int] = None
+        for entry in self._entries_in_window(
+            addr - self._max_version_size + 1, addr + 1
+        ):
+            base = entry.address
+            for version in entry.versions:
+                if base <= addr < base + version.size and version.seq > best_seq:
+                    best_seq = version.seq
+                    best_val = version.data[addr - base]
+        return best_val
 
     def live_unfreed_allocs(self) -> Dict[int, int]:
         """Blocks with an alloc event and no later free (leak candidates)."""
-        live: Dict[int, int] = {}
-        for ev in self.events:
-            if ev.kind == "alloc":
-                live[ev.addr] = ev.nwords
-            elif ev.kind == "free":
-                live.pop(ev.addr, None)
-        return live
+        return dict(self._live_allocs)

@@ -1,0 +1,157 @@
+"""Linear-scan reference implementations of the checkpoint-log queries.
+
+:mod:`repro.checkpoint.log` answers every reactor query from
+incrementally maintained indexes.  This module keeps the original
+(pre-index) full-scan implementations verbatim, for two purposes:
+
+* **equivalence testing** — property tests assert that every indexed
+  query returns results identical (including ordering) to the scans on
+  randomized event streams;
+* **benchmarking** — ``benchmarks/bench_perf_hotpaths.py`` times the
+  indexed reactor against :class:`LinearScanReverter` on a large
+  synthetic log to track the speedup across PRs.
+
+Nothing in the production pipeline imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.checkpoint.log import CheckpointEntry, CheckpointLog, LogEvent
+from repro.errors import AllocationError
+from repro.reactor.revert import Reverter
+
+
+# ----------------------------------------------------------------------
+# query references (the seed's CheckpointLog method bodies)
+# ----------------------------------------------------------------------
+def entries_overlapping(log: CheckpointLog, addr: int) -> List[CheckpointEntry]:
+    out = []
+    for entry in log.entries.values():
+        latest = entry.latest()
+        if latest is None:
+            continue
+        if entry.address <= addr < entry.address + latest.size:
+            out.append(entry)
+    return out
+
+
+def update_seqs_for_address(log: CheckpointLog, addr: int) -> List[int]:
+    seqs: List[int] = []
+    for entry in entries_overlapping(log, addr):
+        seqs.extend(v.seq for v in entry.versions)
+    return seqs
+
+
+def events_after(log: CheckpointLog, seq: int) -> List[LogEvent]:
+    return [ev for ev in log.events if ev.seq > seq]
+
+
+def live_unfreed_allocs(log: CheckpointLog) -> Dict[int, int]:
+    live: Dict[int, int] = {}
+    for ev in log.events:
+        if ev.kind == "alloc":
+            live[ev.addr] = ev.nwords
+        elif ev.kind == "free":
+            live.pop(ev.addr, None)
+    return live
+
+
+def expected_word(log: CheckpointLog, addr: int) -> Optional[int]:
+    best_seq = -1
+    best_val: Optional[int] = None
+    for entry in log.entries.values():
+        for version in entry.versions:
+            if entry.address <= addr < entry.address + version.size:
+                if version.seq > best_seq:
+                    best_seq = version.seq
+                    best_val = version.data[addr - entry.address]
+    return best_val
+
+
+def newest_free_covering(log: CheckpointLog, target: int) -> Optional[LogEvent]:
+    for ev in sorted(log.events, key=lambda e: -e.seq):
+        if ev.kind == "free" and ev.addr <= target < ev.addr + ev.nwords:
+            return ev
+    return None
+
+
+def update_addrs_since(log: CheckpointLog, seq: int) -> List[int]:
+    addrs: List[int] = []
+    for entry in log.entries.values():
+        if any(v.seq >= seq for v in entry.versions):
+            addrs.append(entry.address)
+    return addrs
+
+
+# ----------------------------------------------------------------------
+# the seed Reverter's hot paths, verbatim
+# ----------------------------------------------------------------------
+class LinearScanReverter(Reverter):
+    """A :class:`Reverter` running the pre-index full-scan hot paths.
+
+    Used as the benchmark baseline and the byte-identical-pool oracle in
+    the equivalence tests; must never be used in production code.
+    """
+
+    def _plan_range_before(self, addr: int, size: int, cut_seq: int):
+        writes = {addr + i: 0 for i in range(size)}
+        informed: Set[int] = set()
+        overlapping = []
+        for entry in self.log.entries.values():
+            pre_cut = [v for v in entry.versions if v.seq < cut_seq]
+            if not pre_cut and entry.history_evicted and entry.versions:
+                overlapping.append((-1, entry.address, entry.versions[0]))
+                continue
+            for version in pre_cut:
+                overlapping.append((version.seq, entry.address, version))
+        for _seq, base, version in sorted(
+            overlapping, key=lambda t: (t[0], t[1])
+        ):
+            if not (base < addr + size and addr < base + version.size):
+                continue
+            for i, value in enumerate(version.data):
+                a = base + i
+                if addr <= a < addr + size:
+                    writes[a] = value
+                    informed.add(a)
+        return writes, informed
+
+    def _expected_word(self, addr: int) -> Optional[int]:
+        return expected_word(self.log, addr)
+
+    def _unfree_covering(self, target: int) -> bool:
+        ev = newest_free_covering(self.log, target)
+        if ev is None:
+            return False
+        try:
+            self.allocator.unfree(ev.addr, ev.nwords)
+            return True
+        except AllocationError:
+            return False
+
+    def rollback_to_before(self, seq: int) -> List[int]:
+        reverted: List[int] = []
+        touched: List[tuple] = []
+        for entry in self.log.entries.values():
+            newer = [v for v in entry.versions if v.seq >= seq]
+            if not newer:
+                continue
+            reverted.extend(v.seq for v in newer)
+            touched.append((entry.address, max(v.size for v in entry.versions)))
+        for addr, size in touched:
+            self.restore_range_before(addr, size, seq)
+        for ev in sorted(events_after(self.log, seq - 1), key=lambda e: -e.seq):
+            if ev.kind == "free":
+                try:
+                    self.allocator.unfree(ev.addr, ev.nwords)
+                except AllocationError:
+                    pass
+            elif ev.kind == "alloc":
+                if self.allocator.is_allocated(ev.addr):
+                    try:
+                        self.allocator.free(ev.addr)
+                    except AllocationError:  # pragma: no cover - defensive
+                        pass
+        return reverted

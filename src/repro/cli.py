@@ -7,6 +7,7 @@ Subcommands:
 * ``run`` — one (fault, solution) experiment with full reporting.
 * ``matrix`` — the 12-fault recoverability row for one solution.
 * ``analyze`` — static-analysis statistics for one target system.
+* ``bench-hotpaths`` — indexed-vs-linear-scan hot-path benchmark.
 """
 
 from __future__ import annotations
@@ -124,6 +125,20 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_bench_hotpaths(args) -> int:
+    from repro.harness.hotpaths import render_summary, run_and_write
+
+    n_updates = args.updates
+    if n_updates is None:
+        n_updates = 5_000 if args.quick else 50_000
+    report = run_and_write(
+        n_updates=n_updates, seed=args.seed,
+        out_path=None if args.out == "-" else args.out,
+    )
+    print(render_summary(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -149,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("--system", required=True,
                            choices=["memcached", "redis", "cceh",
                                     "pelikan", "pmemkv", "levelhash"])
+
+    bench_p = sub.add_parser(
+        "bench-hotpaths",
+        help="time the indexed reactor hot paths vs the seed linear scans",
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="5k-update smoke run instead of 50k")
+    bench_p.add_argument("--updates", type=int, default=None,
+                         help="override the synthetic log size")
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument("--out", default="results/BENCH_hotpaths.json",
+                         help="report path ('-' to skip writing)")
     return parser
 
 
@@ -161,6 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "matrix": _cmd_matrix,
         "analyze": _cmd_analyze,
+        "bench-hotpaths": _cmd_bench_hotpaths,
     }
     return handlers[args.command](args)
 

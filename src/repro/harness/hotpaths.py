@@ -1,0 +1,554 @@
+"""Hot-path micro-benchmarks: indexed reactor vs the seed linear scans.
+
+Three measurements feed ``results/BENCH_hotpaths.json`` so later PRs have
+a perf trajectory:
+
+* **plan** — ``compute_plan`` (slice x trace x log join) over a large
+  synthetic checkpoint log, repeated for the harness's up-to-4 planning
+  rounds, against a reference path that joins through
+  :mod:`repro.checkpoint.reference` and re-slices every round (the seed
+  had no PDG memoization);
+* **mitigation** — purge, rollback and bisect strategies executed by the
+  production :class:`~repro.reactor.revert.Reverter` and by
+  :class:`~repro.checkpoint.reference.LinearScanReverter` on *identical*
+  synthetic states; the durable pool image and allocator metadata must
+  come out byte-identical, otherwise the run aborts;
+* **vm** — raw PMLang interpreter throughput (steps/second), recorded
+  trajectory-only (no reference implementation is kept for the old
+  if/elif dispatch chain).
+
+The synthetic state is built directly against the pool/allocator/log —
+no interpreter in the loop — so the log size is an exact parameter.  It
+contains everything the hot paths branch on: multi-version entries with
+evicted history, sub-range persists sharing a base address, transaction
+groups, alloc/free churn (a populated free index), a realloc link, and
+one reversion whose pre-image holds a pointer into freed memory (forcing
+the dangling-pointer guard through ``newest_free_covering``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis import AnalysisResult, analyze_module
+from repro.analysis.slicing import backward_slice
+from repro.checkpoint import reference
+from repro.checkpoint.log import MAX_VERSIONS, CheckpointLog
+from repro.checkpoint.reference import LinearScanReverter
+from repro.detector.monitor import Detector, RunOutcome
+from repro.instrument.guids import GuidMap
+from repro.instrument.passes import instrument_module
+from repro.instrument.tracer import PMTrace
+from repro.lang.compiler import compile_module
+from repro.lang.interp import Machine
+from repro.pmem.allocator import PMAllocator
+from repro.pmem.pool import PMPool
+from repro.reactor.plan import (
+    Candidate,
+    PlanContext,
+    ReversionPlan,
+    compute_plan,
+    distance_policy,
+)
+from repro.reactor.revert import Reverter
+
+#: words per synthetic PM object
+OBJ_WORDS = 4
+
+#: non-victim candidates ahead of the real one in every plan; each costs
+#: one failed reversion + re-execution before mitigation reaches the fix
+N_DECOYS = 10
+
+
+# ----------------------------------------------------------------------
+# synthetic state
+# ----------------------------------------------------------------------
+@dataclass
+class SynthState:
+    """One reproducible pool + allocator + checkpoint-log instance."""
+
+    pool: PMPool
+    allocator: PMAllocator
+    log: CheckpointLog
+    objects: List[int]
+    victim: int
+    good: Tuple[int, ...]
+    victim_seq: int
+    candidates: List[Candidate] = field(default_factory=list)
+
+    def reexec(self) -> Callable[[], RunOutcome]:
+        """Re-execution check: the victim object holds its good image."""
+
+        def fn() -> RunOutcome:
+            ok = all(
+                self.pool.durable_read(self.victim + i) == self.good[i]
+                for i in range(OBJ_WORDS)
+            )
+            return RunOutcome(ok=ok)
+
+        return fn
+
+    def make_plan(self) -> ReversionPlan:
+        """The fixed candidate list: decoys first, the real fix last."""
+        return ReversionPlan(fault_iid=0, candidates=list(self.candidates))
+
+    def durable_image(self) -> Tuple[Dict[int, int], dict]:
+        """Everything a mitigation can change, for equality checks."""
+        return self.pool.durable_items(), self.allocator.export_meta()
+
+
+def build_synthetic_state(
+    n_updates: int,
+    seed: int = 0,
+    n_objects: Optional[int] = None,
+    max_versions: int = MAX_VERSIONS,
+    n_decoys: int = N_DECOYS,
+) -> SynthState:
+    """Deterministically build a pool whose log holds ``n_updates`` updates.
+
+    The same ``(n_updates, seed)`` always produces the same durable image
+    and event stream, so two reverter implementations can be run on two
+    fresh builds and their final states compared word-for-word.
+    """
+    rng = random.Random(seed)
+    if n_objects is None:
+        n_objects = max(64, n_updates // 4)
+    n_churn = max(4, n_objects // 64)
+    pool = PMPool(
+        (n_objects + n_churn + 8) * OBJ_WORDS + 1024, name="hotpaths"
+    )
+    allocator = PMAllocator(pool)
+    log = CheckpointLog(max_versions=max_versions)
+
+    objects: List[int] = []
+    for _ in range(n_objects):
+        addr = allocator.zalloc(OBJ_WORDS, site="synth-obj")
+        log.record_alloc(addr, OBJ_WORDS)
+        objects.append(addr)
+
+    # churn blocks freed again: populates the free-event index and leaves
+    # blocks that old pointers may dangle into
+    freed: List[int] = []
+    for _ in range(n_churn):
+        addr = allocator.zalloc(OBJ_WORDS, site="synth-churn")
+        log.record_alloc(addr, OBJ_WORDS)
+        allocator.free(addr)
+        log.record_free(addr, OBJ_WORDS)
+        freed.append(addr)
+
+    # one realloc-linked pair, so the entry table carries incarnation links
+    moved = allocator.zalloc(OBJ_WORDS, site="synth-realloc")
+    log.record_alloc(moved, OBJ_WORDS)
+    log.link_realloc(objects[0], moved)
+    objects.append(moved)
+
+    # the bulk update stream: mostly whole-object persists, some
+    # field-granular sub-ranges (their own entries), occasional tx groups
+    tx_id = 0
+    in_tx = 0
+    for _ in range(n_updates):
+        base = objects[rng.randrange(len(objects))]
+        if rng.random() < 0.15:
+            off = rng.randrange(OBJ_WORDS)
+            size = rng.randrange(1, OBJ_WORDS - off + 1)
+        else:
+            off, size = 0, OBJ_WORDS
+        addr = base + off
+        values = [rng.randrange(1, 1 << 20) for _ in range(size)]
+        if in_tx == 0 and rng.random() < 0.02:
+            tx_id += 1
+            in_tx = rng.randrange(2, 5)
+            log.record_tx_begin(tx_id)
+        for j, v in enumerate(values):
+            pool.durable_write(addr + j, v)
+        log.record_update(addr, size, values, tx_id=tx_id if in_tx else 0)
+        if in_tx:
+            in_tx -= 1
+            if in_tx == 0:
+                log.record_tx_commit(tx_id)
+
+    # the fault: a good image persisted, then a bad one on top — followed
+    # by the decoy updates, so rollback cuts at the decoys do NOT reach
+    # the bad update and mitigation needs several iterations
+    picked = rng.sample(objects[:n_objects], n_decoys + 1)
+    victim, decoy_objs = picked[0], picked[1:]
+    good = tuple(rng.randrange(1, 1 << 20) for _ in range(OBJ_WORDS))
+    for j, v in enumerate(good):
+        pool.durable_write(victim + j, v)
+    log.record_update(victim, OBJ_WORDS, list(good))
+    bad = [v + 1 for v in good]
+    for j, v in enumerate(bad):
+        pool.durable_write(victim + j, v)
+    victim_seq = log.record_update(victim, OBJ_WORDS, bad)
+
+    candidates: List[Candidate] = []
+    for k, base in enumerate(decoy_objs):
+        if k == 0:
+            # pre-image holding a pointer into a freed block: reverting
+            # this decoy must take the dangling-pointer guard and revert
+            # the covering free as well
+            pre = [freed[0], 7, 7, 7]
+        else:
+            pre = [rng.randrange(1, 1 << 20) for _ in range(OBJ_WORDS)]
+        for j, v in enumerate(pre):
+            pool.durable_write(base + j, v)
+        log.record_update(base, OBJ_WORDS, pre)
+        cur = [rng.randrange(1, 1 << 20) for _ in range(OBJ_WORDS)]
+        for j, v in enumerate(cur):
+            pool.durable_write(base + j, v)
+        seq = log.record_update(base, OBJ_WORDS, cur)
+        candidates.append(
+            Candidate(seq=seq, addr=base, guid=f"synth-{k}", slice_iid=k)
+        )
+    candidates.append(
+        Candidate(
+            seq=victim_seq, addr=victim, guid="synth-victim",
+            slice_iid=n_decoys,
+        )
+    )
+
+    return SynthState(
+        pool=pool,
+        allocator=allocator,
+        log=log,
+        objects=objects,
+        victim=victim,
+        good=good,
+        victim_seq=victim_seq,
+        candidates=candidates,
+    )
+
+
+# ----------------------------------------------------------------------
+# mitigation benchmark
+# ----------------------------------------------------------------------
+def bench_mitigation(
+    n_updates: int,
+    seed: int = 0,
+    modes: Tuple[str, ...] = ("purge", "rollback", "bisect"),
+) -> Dict[str, Dict[str, object]]:
+    """Time each strategy under both reverters on identical fresh states.
+
+    Raises when a strategy fails to recover or when the two final durable
+    images differ — the speedup numbers are only meaningful if the fast
+    path is exact.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for mode in modes:
+        row: Dict[str, object] = {}
+        images = {}
+        for name, cls in (("indexed", Reverter), ("reference", LinearScanReverter)):
+            state = build_synthetic_state(n_updates, seed=seed)
+            reverter = cls(state.log, state.pool, state.allocator, state.reexec())
+            start = time.perf_counter()
+            result = getattr(reverter, "mitigate_" + mode)(state.make_plan())
+            row[name + "_seconds"] = time.perf_counter() - start
+            if not result.recovered:
+                raise RuntimeError(f"{name} {mode} did not recover")
+            row[name + "_attempts"] = result.attempts
+            images[name] = state.durable_image()
+        if images["indexed"] != images["reference"]:
+            raise RuntimeError(f"{mode}: divergent final pool state")
+        row["pool_identical"] = True
+        row["speedup"] = (
+            row["reference_seconds"] / max(row["indexed_seconds"], 1e-9)
+        )
+        out[mode] = row
+    return out
+
+
+# ----------------------------------------------------------------------
+# plan benchmark
+# ----------------------------------------------------------------------
+#: small program whose fault slice contains several PM instructions; its
+#: GUIDs are then mapped (via a synthetic trace) onto the big log
+_PLAN_SRC = '''
+def init():
+    root = get_root()
+    if root == 0:
+        root = pm_alloc(sizeof("hdr"))
+        root.hdr_flag = 0
+        root.hdr_lo = 0
+        root.hdr_hi = 0
+        persist(root, sizeof("hdr"))
+        set_root(root)
+    return root
+
+
+def poke(root, v):
+    root.hdr_flag = v
+    persist(addr(root.hdr_flag), 1)
+    return v
+
+
+def mix(root, v):
+    root.hdr_lo = v
+    root.hdr_hi = root.hdr_lo + root.hdr_flag
+    persist(addr(root.hdr_lo), 2)
+    return v
+
+
+def check(root):
+    assert_true(root.hdr_flag == 0, "bad flag")
+    return root.hdr_hi
+
+
+def __driver__():
+    root = init()
+    poke(root, 0)
+    mix(root, 1)
+    check(root)
+    return 0
+'''
+
+_PLAN_STRUCTS = {"hdr": ["hdr_flag", "hdr_lo", "hdr_hi"]}
+
+
+def _plan_fixture() -> Tuple[AnalysisResult, GuidMap, int]:
+    """Compile/analyze the probe program and trigger its fault."""
+    module = compile_module("hotpaths", _PLAN_SRC, structs=_PLAN_STRUCTS)
+    analysis = analyze_module(module)
+    guid_map, _ = instrument_module(module, analysis.pm)
+    machine = Machine(module)
+    root = machine.call("init")
+    machine.call("mix", root, 1)
+    machine.call("poke", root, 1)  # the bad persisted flag
+    outcome = Detector().observe(machine, lambda: machine.call("check", root))
+    if outcome.ok or outcome.fault is None:
+        raise RuntimeError("plan fixture failed to fault")
+    return analysis, guid_map, outcome.fault.iid
+
+
+def _synthetic_trace(
+    analysis: AnalysisResult,
+    guid_map: GuidMap,
+    fault_iid: int,
+    log: CheckpointLog,
+    rng: random.Random,
+    addrs_per_guid: int,
+) -> Tuple[PMTrace, int]:
+    """Map every traced slice GUID onto random addresses of the big log."""
+    pm_iids = sorted(
+        iid
+        for iid in backward_slice(analysis.pdg, fault_iid)
+        if analysis.pm.is_pm_instr(iid) and guid_map.guid_of(iid) is not None
+    )
+    bases = [entry.address for entry in log.entries.values()]
+    trace = PMTrace()
+    for iid in pm_iids:
+        guid = guid_map.guid_of(iid)
+        for _ in range(addrs_per_guid):
+            base = bases[rng.randrange(len(bases))]
+            trace.record(guid, base + rng.randrange(OBJ_WORDS))
+    trace.flush()
+    return trace, len(pm_iids)
+
+
+def _reference_compute_plan(
+    analysis: AnalysisResult,
+    guid_map: GuidMap,
+    trace: PMTrace,
+    log: CheckpointLog,
+    fault_iid: int,
+    policy,
+) -> ReversionPlan:
+    """The seed planning path: re-slice every round (no PDG memoization)
+    and join each traced address through the full-entry-table scan."""
+    analysis.pdg._slice_cache.clear()
+    analysis.pdg._dist_cache.clear()
+    trace.flush()
+    full_slice = backward_slice(analysis.pdg, fault_iid)
+    pm_nodes = {n for n in full_slice if analysis.pm.is_pm_instr(n)}
+    candidates: List[Candidate] = []
+    for iid in pm_nodes:
+        guid = guid_map.guid_of(iid)
+        if guid is None:
+            continue
+        for addr in trace.addresses_for_guid(guid):
+            for seq in reference.update_seqs_for_address(log, addr):
+                candidates.append(
+                    Candidate(seq=seq, addr=addr, guid=guid, slice_iid=iid)
+                )
+    ctx = PlanContext(analysis=analysis, fault_iid=fault_iid)
+    ordered = policy(candidates, ctx)
+    return ReversionPlan(
+        fault_iid=fault_iid,
+        candidates=ordered,
+        slice_size=len(full_slice),
+        pm_slice_size=len(pm_nodes),
+    )
+
+
+def bench_plan(
+    n_updates: int,
+    seed: int = 0,
+    rounds: int = 4,
+    addrs_per_guid: Optional[int] = None,
+) -> Dict[str, object]:
+    """Time ``rounds`` planning requests, indexed vs reference.
+
+    ``rounds`` models the harness's detector/reactor loop, which re-plans
+    the same fault up to four times per mode.  The two paths must produce
+    the same candidate sequence, or the run aborts.
+    """
+    state = build_synthetic_state(n_updates, seed=seed)
+    analysis, guid_map, fault_iid = _plan_fixture()
+    rng = random.Random(seed + 1)
+    if addrs_per_guid is None:
+        addrs_per_guid = max(8, min(32, n_updates // 3000))
+    trace, n_guids = _synthetic_trace(
+        analysis, guid_map, fault_iid, state.log, rng, addrs_per_guid
+    )
+    policy = distance_policy()
+
+    analysis.pdg._slice_cache.clear()
+    analysis.pdg._dist_cache.clear()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        plan = compute_plan(
+            analysis, guid_map, trace, state.log, fault_iid, policy=policy
+        )
+    indexed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        ref_plan = _reference_compute_plan(
+            analysis, guid_map, trace, state.log, fault_iid, policy
+        )
+    reference_seconds = time.perf_counter() - start
+
+    if [c.seq for c in plan.candidates] != [c.seq for c in ref_plan.candidates]:
+        raise RuntimeError("indexed and reference plans disagree")
+    return {
+        "rounds": rounds,
+        "traced_guids": n_guids,
+        "addrs_per_guid": addrs_per_guid,
+        "candidates": len(plan.candidates),
+        "indexed_seconds": indexed_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / max(indexed_seconds, 1e-9),
+    }
+
+
+# ----------------------------------------------------------------------
+# VM throughput benchmark
+# ----------------------------------------------------------------------
+_VM_SRC = '''
+def spin(n):
+    s = 0
+    for i in range(n):
+        s = s + i * 3
+        s = s ^ (i << 1)
+        if s > 1000000:
+            s = s % 65536
+    return s
+'''
+
+
+def bench_vm(n_iters: int = 50_000) -> Dict[str, float]:
+    """Interpreter steps/second on a pure-compute loop (dispatch cost)."""
+    module = compile_module("vmspin", _VM_SRC)
+    machine = Machine(module)
+    start = time.perf_counter()
+    machine.call("spin", n_iters, step_budget=100 * n_iters)
+    seconds = time.perf_counter() - start
+    return {
+        "steps": machine.steps_executed,
+        "seconds": seconds,
+        "steps_per_second": machine.steps_executed / max(seconds, 1e-9),
+    }
+
+
+# ----------------------------------------------------------------------
+# top-level runner
+# ----------------------------------------------------------------------
+def run_hotpaths(
+    n_updates: int = 50_000,
+    seed: int = 0,
+    vm_iters: int = 50_000,
+    rounds: int = 4,
+) -> Dict[str, object]:
+    """Run all three benchmarks; returns the JSON-ready report dict."""
+    plan = bench_plan(n_updates, seed=seed, rounds=rounds)
+    mitigation = bench_mitigation(n_updates, seed=seed)
+    vm = bench_vm(vm_iters)
+    indexed = float(plan["indexed_seconds"]) + sum(
+        float(m["indexed_seconds"]) for m in mitigation.values()
+    )
+    ref = float(plan["reference_seconds"]) + sum(
+        float(m["reference_seconds"]) for m in mitigation.values()
+    )
+    return {
+        "config": {
+            "n_updates": n_updates,
+            "seed": seed,
+            "vm_iters": vm_iters,
+            "plan_rounds": rounds,
+            "decoys": N_DECOYS,
+        },
+        "plan": plan,
+        "mitigation": mitigation,
+        "vm": vm,
+        "summary": {
+            "indexed_plan_plus_mitigation_seconds": indexed,
+            "reference_plan_plus_mitigation_seconds": ref,
+            "plan_plus_mitigation_speedup": ref / max(indexed, 1e-9),
+            "vm_steps_per_second": vm["steps_per_second"],
+        },
+    }
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """Human-readable digest of one report."""
+    cfg = report["config"]
+    s = report["summary"]
+    lines = [
+        f"hot-path benchmark ({cfg['n_updates']} log updates, "
+        f"seed {cfg['seed']})",
+        f"  plan ({report['plan']['rounds']} rounds):  "
+        f"indexed {report['plan']['indexed_seconds']:.4f}s   "
+        f"reference {report['plan']['reference_seconds']:.4f}s   "
+        f"({report['plan']['speedup']:.1f}x)",
+    ]
+    for mode, row in report["mitigation"].items():
+        lines.append(
+            f"  {mode:<8}:  indexed {row['indexed_seconds']:.4f}s   "
+            f"reference {row['reference_seconds']:.4f}s   "
+            f"({row['speedup']:.1f}x, pool identical)"
+        )
+    lines.append(
+        f"  vm:        {s['vm_steps_per_second']:,.0f} steps/s "
+        f"({report['vm']['steps']} steps)"
+    )
+    lines.append(
+        f"  plan+mitigation speedup: "
+        f"{s['plan_plus_mitigation_speedup']:.1f}x "
+        f"(indexed {s['indexed_plan_plus_mitigation_seconds']:.4f}s, "
+        f"reference {s['reference_plan_plus_mitigation_seconds']:.4f}s)"
+    )
+    return "\n".join(lines)
+
+
+def run_and_write(
+    n_updates: int = 50_000,
+    seed: int = 0,
+    vm_iters: int = 50_000,
+    rounds: int = 4,
+    out_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the benchmarks and persist the JSON report (shared by the
+    ``bench-hotpaths`` CLI subcommand and ``bench_perf_hotpaths.py``)."""
+    report = run_hotpaths(
+        n_updates=n_updates, seed=seed, vm_iters=vm_iters, rounds=rounds
+    )
+    if out_path is not None:
+        os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+        with open(out_path, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return report

@@ -103,4 +103,5 @@ def load_checkpoint_log(path: str) -> CheckpointLog:
         log.events.append(event)
         log._event_by_seq[event.seq] = event
     log.tx_members = {int(k): list(v) for k, v in payload["tx_members"].items()}
+    log.rebuild_indexes()  # the raw state above bypassed the record_* hooks
     return log

@@ -64,6 +64,40 @@ _TRACE_DST_OPS = frozenset({"alloc", "realloc", "getroot", "gep"})
 InjectionFn = Callable[["Machine", "Thread", Instr], None]
 TraceFn = Callable[[str, int], None]
 
+#: handler return codes; ``None`` (the implicit return) means "advance"
+_CTRL = 1   # the handler updated block/index itself (call/ret/br/cbr)
+_YIELD = 2  # advance and switch threads (cooperative yield)
+
+
+def _floordiv(a: int, b: int) -> int:
+    return a // b  # ZeroDivisionError becomes ArithmeticTrap at the call site
+
+
+def _mod(a: int, b: int) -> int:
+    return a % b
+
+
+#: precompiled binop evaluators (comparisons produce 0/1 ints, shifts
+#: mask the count to 63 — x86 semantics, same as the old operator chain)
+_BINOP_FUNCS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": _floordiv,
+    "%": _mod,
+    "<<": lambda a, b: a << (b & 63),
+    ">>": lambda a, b: a >> (b & 63),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+}
+
 
 @dataclass
 class FaultInfo:
@@ -314,7 +348,13 @@ class Machine:
 
     # ------------------------------------------------------------------
     def _step(self, thread: Thread) -> bool:
-        """Execute one instruction; returns True if the thread yields."""
+        """Execute one instruction; returns True if the thread yields.
+
+        Dispatch goes through the precompiled per-opcode handler table
+        (:data:`_DISPATCH`); the resolved handler is cached on the
+        :class:`Instr` itself, so steady-state execution pays a single
+        attribute load instead of walking an opcode ``if/elif`` chain.
+        """
         frame = thread.frame
         instr = frame.func.blocks[frame.block].instrs[frame.index]
 
@@ -324,139 +364,194 @@ class Machine:
         if self.dep_recorder is not None:
             self.dep_recorder.on_instr(self, thread, instr)
 
-        if instr.guid is not None and self.tracer is not None:
+        traced = instr.guid is not None and self.tracer is not None
+        if traced:
             self._trace_before(instr, frame)
 
-        op = instr.op
-        regs = frame.regs
-        advance = True
-        switch = False
+        handler = instr.handler
+        if handler is None:
+            handler = _DISPATCH.get(instr.op)
+            if handler is None:  # pragma: no cover - unreachable with a valid module
+                raise ReproError(f"unknown opcode {instr.op!r}")
+            instr.handler = handler
+        code = handler(self, thread, frame, instr)
 
-        if op == "const":
-            regs[instr.dst] = instr.args[0]
-        elif op == "mov":
-            regs[instr.dst] = self._reg(frame, instr.args[0], instr)
-        elif op == "binop":
-            regs[instr.dst] = self._binop(frame, instr)
-        elif op == "unop":
-            opname, a = instr.args
-            v = self._reg(frame, a, instr)
-            if opname == "neg":
-                regs[instr.dst] = -v
-            elif opname == "not":
-                regs[instr.dst] = 0 if v else 1
-            else:  # bnot
-                regs[instr.dst] = ~v
-        elif op == "gep":
-            base_r, offset, index_r, scale = instr.args
-            base = self._reg(frame, base_r, instr)
-            addr = base + offset
-            if index_r is not None:
-                addr += self._reg(frame, index_r, instr) * scale
-            regs[instr.dst] = addr
-        elif op == "load":
-            addr = self._reg(frame, instr.args[0], instr)
-            regs[instr.dst] = self._load(addr, instr)
-        elif op == "store":
-            addr = self._reg(frame, instr.args[0], instr)
-            value = self._reg(frame, instr.args[1], instr)
-            self._store(addr, value, instr)
-        elif op == "alloc":
-            size_r, space = instr.args
-            size = self._reg(frame, size_r, instr)
-            regs[instr.dst] = self._alloc(size, space, instr)
-        elif op == "free":
-            addr = self._reg(frame, instr.args[0], instr)
-            self._free(addr, instr.args[1], instr)
-        elif op == "realloc":
-            addr = self._reg(frame, instr.args[0], instr)
-            size = self._reg(frame, instr.args[1], instr)
-            try:
-                regs[instr.dst] = self.allocator.realloc(
-                    addr, size, site=instr.guid or str(instr.iid)
-                )
-            except OutOfSpaceError as exc:
-                raise self._oom(exc, instr) from exc
-            except AllocationError as exc:
-                raise SegfaultTrap(str(exc), location=instr.location()) from exc
-        elif op == "call":
-            fname, arg_regs = instr.args
-            func = self.module.functions[fname]
-            values = [self._reg(frame, r, instr) for r in arg_regs]
-            frame.index += 1  # return to the next instruction
-            advance = False
-            new_regs = dict(zip(func.params, values))
-            thread.frames.append(Frame(func, new_regs, instr.dst))
-        elif op == "ret":
-            src = instr.args[0]
-            value = self._reg(frame, src, instr) if src is not None else 0
-            thread.frames.pop()
-            advance = False
-            if not thread.frames:
-                thread.done = True
-                thread.result = value
-            elif frame.ret_dst is not None:
-                thread.frame.regs[frame.ret_dst] = value
-        elif op == "br":
-            frame.block = instr.args[0]
-            frame.index = 0
-            advance = False
-        elif op == "cbr":
-            cond = self._reg(frame, instr.args[0], instr)
-            frame.block = instr.args[1] if cond else instr.args[2]
-            frame.index = 0
-            advance = False
-        elif op in ("persist", "flush"):
-            addr = self._reg(frame, instr.args[0], instr)
-            nwords = self._reg(frame, instr.args[1], instr)
-            try:
-                if op == "persist":
-                    self.pool.persist(addr, nwords)
-                else:
-                    self.pool.flush(addr, nwords)
-            except PoolError as exc:
-                raise SegfaultTrap(str(exc), location=instr.location()) from exc
-        elif op == "fence":
-            self.pool.fence()
-        elif op == "txbegin":
-            self.txman.begin(ctx=thread.tid)
-        elif op == "txadd":
-            addr = self._reg(frame, instr.args[0], instr)
-            nwords = self._reg(frame, instr.args[1], instr)
-            try:
-                self.txman.add(addr, nwords, ctx=thread.tid)
-            except PoolError as exc:
-                raise SegfaultTrap(str(exc), location=instr.location()) from exc
-        elif op == "txcommit":
-            self.txman.commit(ctx=thread.tid)
-        elif op == "txabort":
-            self.txman.abort(ctx=thread.tid)
-        elif op == "setroot":
-            self.allocator.set_root(self._reg(frame, instr.args[0], instr))
-        elif op == "getroot":
-            regs[instr.dst] = self.allocator.root()
-        elif op == "assert":
-            cond = self._reg(frame, instr.args[0], instr)
-            if not cond:
-                raise AssertTrap(instr.args[1], location=instr.location())
-        elif op == "panic":
-            raise PanicTrap(instr.args[0], location=instr.location())
-        elif op == "emit":
-            key, value_r = instr.args
-            self.emitted.setdefault(key, []).append(self._reg(frame, value_r, instr))
-        elif op == "yield":
-            switch = True
-        elif op == "nop":
-            pass
-        else:  # pragma: no cover - unreachable with a valid module
-            raise ReproError(f"unknown opcode {op!r}")
-
-        if instr.guid is not None and self.tracer is not None:
+        if traced:
             self._trace_after(instr, frame)
 
-        if advance:
+        if code is None:
             frame.index += 1
-        return switch
+            return False
+        if code == _CTRL:
+            return False
+        frame.index += 1  # _YIELD
+        return True
+
+    # ------------------------------------------------------------------
+    # per-opcode handlers (the dispatch table's targets)
+    #
+    # A handler returns None when the machine should advance to the next
+    # instruction, _CTRL when it updated block/index itself (call, ret,
+    # branches), or _YIELD to advance *and* switch threads.
+    # ------------------------------------------------------------------
+    def _op_const(self, thread: Thread, frame: Frame, instr: Instr):
+        frame.regs[instr.dst] = instr.args[0]
+
+    def _op_mov(self, thread: Thread, frame: Frame, instr: Instr):
+        frame.regs[instr.dst] = self._reg(frame, instr.args[0], instr)
+
+    def _op_binop(self, thread: Thread, frame: Frame, instr: Instr):
+        opname, a_r, b_r = instr.args
+        a = self._reg(frame, a_r, instr)
+        b = self._reg(frame, b_r, instr)
+        fn = _BINOP_FUNCS.get(opname)
+        if fn is None:  # pragma: no cover - unreachable with a valid module
+            raise ReproError(f"unknown binop {opname!r}")
+        try:
+            frame.regs[instr.dst] = fn(a, b)
+        except ZeroDivisionError:
+            raise ArithmeticTrap(
+                "division by zero" if opname == "//" else "modulo by zero",
+                location=instr.location(),
+            ) from None
+
+    def _op_unop(self, thread: Thread, frame: Frame, instr: Instr):
+        opname, a = instr.args
+        v = self._reg(frame, a, instr)
+        if opname == "neg":
+            frame.regs[instr.dst] = -v
+        elif opname == "not":
+            frame.regs[instr.dst] = 0 if v else 1
+        else:  # bnot
+            frame.regs[instr.dst] = ~v
+
+    def _op_gep(self, thread: Thread, frame: Frame, instr: Instr):
+        base_r, offset, index_r, scale = instr.args
+        addr = self._reg(frame, base_r, instr) + offset
+        if index_r is not None:
+            addr += self._reg(frame, index_r, instr) * scale
+        frame.regs[instr.dst] = addr
+
+    def _op_load(self, thread: Thread, frame: Frame, instr: Instr):
+        addr = self._reg(frame, instr.args[0], instr)
+        frame.regs[instr.dst] = self._load(addr, instr)
+
+    def _op_store(self, thread: Thread, frame: Frame, instr: Instr):
+        addr = self._reg(frame, instr.args[0], instr)
+        value = self._reg(frame, instr.args[1], instr)
+        self._store(addr, value, instr)
+
+    def _op_alloc(self, thread: Thread, frame: Frame, instr: Instr):
+        size_r, space = instr.args
+        size = self._reg(frame, size_r, instr)
+        frame.regs[instr.dst] = self._alloc(size, space, instr)
+
+    def _op_free(self, thread: Thread, frame: Frame, instr: Instr):
+        addr = self._reg(frame, instr.args[0], instr)
+        self._free(addr, instr.args[1], instr)
+
+    def _op_realloc(self, thread: Thread, frame: Frame, instr: Instr):
+        addr = self._reg(frame, instr.args[0], instr)
+        size = self._reg(frame, instr.args[1], instr)
+        try:
+            frame.regs[instr.dst] = self.allocator.realloc(
+                addr, size, site=instr.guid or str(instr.iid)
+            )
+        except OutOfSpaceError as exc:
+            raise self._oom(exc, instr) from exc
+        except AllocationError as exc:
+            raise SegfaultTrap(str(exc), location=instr.location()) from exc
+
+    def _op_call(self, thread: Thread, frame: Frame, instr: Instr):
+        fname, arg_regs = instr.args
+        func = self.module.functions[fname]
+        values = [self._reg(frame, r, instr) for r in arg_regs]
+        frame.index += 1  # return to the next instruction
+        new_regs = dict(zip(func.params, values))
+        thread.frames.append(Frame(func, new_regs, instr.dst))
+        return _CTRL
+
+    def _op_ret(self, thread: Thread, frame: Frame, instr: Instr):
+        src = instr.args[0]
+        value = self._reg(frame, src, instr) if src is not None else 0
+        thread.frames.pop()
+        if not thread.frames:
+            thread.done = True
+            thread.result = value
+        elif frame.ret_dst is not None:
+            thread.frame.regs[frame.ret_dst] = value
+        return _CTRL
+
+    def _op_br(self, thread: Thread, frame: Frame, instr: Instr):
+        frame.block = instr.args[0]
+        frame.index = 0
+        return _CTRL
+
+    def _op_cbr(self, thread: Thread, frame: Frame, instr: Instr):
+        cond = self._reg(frame, instr.args[0], instr)
+        frame.block = instr.args[1] if cond else instr.args[2]
+        frame.index = 0
+        return _CTRL
+
+    def _op_persist(self, thread: Thread, frame: Frame, instr: Instr):
+        addr = self._reg(frame, instr.args[0], instr)
+        nwords = self._reg(frame, instr.args[1], instr)
+        try:
+            self.pool.persist(addr, nwords)
+        except PoolError as exc:
+            raise SegfaultTrap(str(exc), location=instr.location()) from exc
+
+    def _op_flush(self, thread: Thread, frame: Frame, instr: Instr):
+        addr = self._reg(frame, instr.args[0], instr)
+        nwords = self._reg(frame, instr.args[1], instr)
+        try:
+            self.pool.flush(addr, nwords)
+        except PoolError as exc:
+            raise SegfaultTrap(str(exc), location=instr.location()) from exc
+
+    def _op_fence(self, thread: Thread, frame: Frame, instr: Instr):
+        self.pool.fence()
+
+    def _op_txbegin(self, thread: Thread, frame: Frame, instr: Instr):
+        self.txman.begin(ctx=thread.tid)
+
+    def _op_txadd(self, thread: Thread, frame: Frame, instr: Instr):
+        addr = self._reg(frame, instr.args[0], instr)
+        nwords = self._reg(frame, instr.args[1], instr)
+        try:
+            self.txman.add(addr, nwords, ctx=thread.tid)
+        except PoolError as exc:
+            raise SegfaultTrap(str(exc), location=instr.location()) from exc
+
+    def _op_txcommit(self, thread: Thread, frame: Frame, instr: Instr):
+        self.txman.commit(ctx=thread.tid)
+
+    def _op_txabort(self, thread: Thread, frame: Frame, instr: Instr):
+        self.txman.abort(ctx=thread.tid)
+
+    def _op_setroot(self, thread: Thread, frame: Frame, instr: Instr):
+        self.allocator.set_root(self._reg(frame, instr.args[0], instr))
+
+    def _op_getroot(self, thread: Thread, frame: Frame, instr: Instr):
+        frame.regs[instr.dst] = self.allocator.root()
+
+    def _op_assert(self, thread: Thread, frame: Frame, instr: Instr):
+        cond = self._reg(frame, instr.args[0], instr)
+        if not cond:
+            raise AssertTrap(instr.args[1], location=instr.location())
+
+    def _op_panic(self, thread: Thread, frame: Frame, instr: Instr):
+        raise PanicTrap(instr.args[0], location=instr.location())
+
+    def _op_emit(self, thread: Thread, frame: Frame, instr: Instr):
+        key, value_r = instr.args
+        self.emitted.setdefault(key, []).append(self._reg(frame, value_r, instr))
+
+    def _op_yield(self, thread: Thread, frame: Frame, instr: Instr):
+        return _YIELD
+
+    def _op_nop(self, thread: Thread, frame: Frame, instr: Instr):
+        pass
 
     # ------------------------------------------------------------------
     # operand and memory helpers
@@ -469,48 +564,6 @@ class Machine:
                 f"read of unset register {name!r} at {instr.location()} "
                 f"(PMLang variable used before assignment)"
             ) from None
-
-    def _binop(self, frame: Frame, instr: Instr) -> int:
-        opname, a_r, b_r = instr.args
-        a = self._reg(frame, a_r, instr)
-        b = self._reg(frame, b_r, instr)
-        if opname == "+":
-            return a + b
-        if opname == "-":
-            return a - b
-        if opname == "*":
-            return a * b
-        if opname == "//":
-            if b == 0:
-                raise ArithmeticTrap("division by zero", location=instr.location())
-            return a // b
-        if opname == "%":
-            if b == 0:
-                raise ArithmeticTrap("modulo by zero", location=instr.location())
-            return a % b
-        if opname == "<<":
-            return a << (b & 63)
-        if opname == ">>":
-            return a >> (b & 63)
-        if opname == "&":
-            return a & b
-        if opname == "|":
-            return a | b
-        if opname == "^":
-            return a ^ b
-        if opname == "==":
-            return 1 if a == b else 0
-        if opname == "!=":
-            return 1 if a != b else 0
-        if opname == "<":
-            return 1 if a < b else 0
-        if opname == "<=":
-            return 1 if a <= b else 0
-        if opname == ">":
-            return 1 if a > b else 0
-        if opname == ">=":
-            return 1 if a >= b else 0
-        raise ReproError(f"unknown binop {opname!r}")  # pragma: no cover
 
     def _load(self, addr: int, instr: Instr) -> int:
         if addr >= PM_BASE:
@@ -597,3 +650,37 @@ class Machine:
             addr = frame.regs.get(instr.dst)
             if addr is not None and addr >= PM_BASE:
                 self.tracer(instr.guid, addr)
+
+
+#: opcode -> handler function, built once at import time; the VM caches
+#: the resolved handler on each Instr (see Machine._step)
+_DISPATCH: Dict[str, Callable] = {
+    "const": Machine._op_const,
+    "mov": Machine._op_mov,
+    "binop": Machine._op_binop,
+    "unop": Machine._op_unop,
+    "gep": Machine._op_gep,
+    "load": Machine._op_load,
+    "store": Machine._op_store,
+    "alloc": Machine._op_alloc,
+    "free": Machine._op_free,
+    "realloc": Machine._op_realloc,
+    "call": Machine._op_call,
+    "ret": Machine._op_ret,
+    "br": Machine._op_br,
+    "cbr": Machine._op_cbr,
+    "persist": Machine._op_persist,
+    "flush": Machine._op_flush,
+    "fence": Machine._op_fence,
+    "txbegin": Machine._op_txbegin,
+    "txadd": Machine._op_txadd,
+    "txcommit": Machine._op_txcommit,
+    "txabort": Machine._op_txabort,
+    "setroot": Machine._op_setroot,
+    "getroot": Machine._op_getroot,
+    "assert": Machine._op_assert,
+    "panic": Machine._op_panic,
+    "emit": Machine._op_emit,
+    "yield": Machine._op_yield,
+    "nop": Machine._op_nop,
+}

@@ -102,9 +102,14 @@ class Instr:
         PMLang source line the instruction was compiled from, for reports.
     guid:
         Trace GUID assigned by the instrumentation pass (None before).
+    handler:
+        Per-opcode interpreter handler, resolved lazily by the VM on
+        first execution (a pure function of ``op``, so sharing the
+        instruction between machines is safe).
     """
 
-    __slots__ = ("iid", "op", "dst", "args", "func", "block", "index", "src_line", "guid")
+    __slots__ = ("iid", "op", "dst", "args", "func", "block", "index", "src_line",
+                 "guid", "handler")
 
     def __init__(
         self,
@@ -122,6 +127,7 @@ class Instr:
         self.block = ""
         self.index = -1
         self.guid: Optional[str] = None
+        self.handler = None
 
     # ------------------------------------------------------------------
     def uses(self) -> Tuple[str, ...]:

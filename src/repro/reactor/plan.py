@@ -18,11 +18,12 @@ paper's "more complex function".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.analysis import AnalysisResult
-from repro.analysis.slicing import slice_distances
+from repro.analysis.slicing import backward_slice, slice_distances
 from repro.checkpoint.log import CheckpointLog
 from repro.instrument.guids import GuidMap
 from repro.instrument.tracer import PMTrace
@@ -128,11 +129,7 @@ def compute_plan(
     backward slice; everything downstream (PM filtering, trace/log join,
     policy ordering) is unchanged.
     """
-    import time
-
     start = time.perf_counter()
-    from repro.analysis.slicing import backward_slice
-
     trace.flush()  # catch up on buffered records before joining
     if slice_override is not None:
         full_slice = set(slice_override)

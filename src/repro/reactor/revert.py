@@ -125,11 +125,15 @@ class Reverter:
         cover *neighbouring objects* — e.g. a buffer-overflow persist
         that spilled past its own block — which a naive same-entry
         version copy would corrupt.
+
+        Only entries whose versions can reach the range are visited
+        (``entries_possibly_overlapping``, a bisect window); the
+        non-overlap filter below stays as the exact check.
         """
         writes = {addr + i: 0 for i in range(size)}
         informed: Set[int] = set()
         overlapping = []
-        for entry in self.log.entries.values():
+        for entry in self.log.entries_possibly_overlapping(addr, size):
             pre_cut = [v for v in entry.versions if v.seq < cut_seq]
             if not pre_cut and entry.history_evicted and entry.versions:
                 # the true pre-cut version was evicted from the ring;
@@ -143,7 +147,11 @@ class Reverter:
             # latest alone cannot reconstruct the full range
             for version in pre_cut:
                 overlapping.append((version.seq, entry.address, version))
-        for _seq, base, version in sorted(overlapping):
+        # (seq, base) pairs are unique, so keying on them reproduces the
+        # full-tuple sort without ever comparing Version objects
+        for _seq, base, version in sorted(
+            overlapping, key=lambda t: (t[0], t[1])
+        ):
             if not (base < addr + size and addr < base + version.size):
                 continue
             for i, value in enumerate(version.data):
@@ -176,16 +184,17 @@ class Reverter:
         references freed memory must revert the free as well — the log
         records every free (Section 3.2's intercepted ``free`` calls).
         Newest covering free wins (the block may have been freed and
-        reused repeatedly).
+        reused repeatedly); the log's free-address index answers that
+        without sorting the event stream.
         """
-        for ev in sorted(self.log.events, key=lambda e: -e.seq):
-            if ev.kind == "free" and ev.addr <= target < ev.addr + ev.nwords:
-                try:
-                    self.allocator.unfree(ev.addr, ev.nwords)
-                    return True
-                except AllocationError:
-                    return False
-        return False
+        ev = self.log.newest_free_covering(target)
+        if ev is None:
+            return False
+        try:
+            self.allocator.unfree(ev.addr, ev.nwords)
+            return True
+        except AllocationError:
+            return False
 
     def revert_update_seq(
         self, seq: int, steps_back: int = 1, guard_dangling: bool = False
@@ -245,18 +254,24 @@ class Reverter:
         Returns the update sequence numbers that were reverted.
         """
         reverted: List[int] = []
-        # value updates: reconstruct every range touched at-or-after the cut
+        # value updates: reconstruct every range touched at-or-after the
+        # cut — found through the event index (any update event >= seq
+        # implies the entry retains a version >= seq: eviction only drops
+        # the *oldest* versions), so only the log suffix is scanned
         touched: List[tuple] = []
-        for entry in self.log.entries.values():
+        for addr in self.log.update_addrs_since(seq):
+            entry = self.log.entries.get(addr)
+            if entry is None:  # pragma: no cover - defensive
+                continue
             newer = [v for v in entry.versions if v.seq >= seq]
-            if not newer:
+            if not newer:  # pragma: no cover - see invariant above
                 continue
             reverted.extend(v.seq for v in newer)
             touched.append((entry.address, max(v.size for v in entry.versions)))
         for addr, size in touched:
             self.restore_range_before(addr, size, seq)
-        # allocator events, newest first
-        for ev in sorted(self.log.events_after(seq - 1), key=lambda e: -e.seq):
+        # allocator events, newest first (events_after is seq-ascending)
+        for ev in reversed(self.log.events_after(seq - 1)):
             if ev.kind == "free":
                 try:
                     self.allocator.unfree(ev.addr, ev.nwords)
@@ -274,16 +289,13 @@ class Reverter:
     # out-of-band corruption repair
     # ------------------------------------------------------------------
     def _expected_word(self, addr: int) -> Optional[int]:
-        """Value the newest checkpoint version says ``addr`` should hold."""
-        best_seq = -1
-        best_val: Optional[int] = None
-        for entry in self.log.entries.values():
-            for version in entry.versions:
-                if entry.address <= addr < entry.address + version.size:
-                    if version.seq > best_seq:
-                        best_seq = version.seq
-                        best_val = version.data[addr - entry.address]
-        return best_val
+        """Value the newest checkpoint version says ``addr`` should hold.
+
+        Served by the log's windowed newest-version index; the old scan
+        over every version of every entry made ``repair_divergence``
+        O(entries x versions) *per word*.
+        """
+        return self.log.expected_word(addr)
 
     def repair_divergence(self, plan: ReversionPlan) -> List[int]:
         """Re-apply logged values where durable PM diverges from the log.

@@ -27,7 +27,15 @@ from repro.reactor.plan import PolicyFn, ReversionPlan, compute_plan
 
 
 class ReactorServer:
-    """Holds the precomputed PDG; answers plan requests quickly."""
+    """Holds the precomputed PDG; answers plan requests quickly.
+
+    Because the server keeps one :class:`AnalysisResult` alive across
+    requests, the slice/distance memoization on its PDG (see
+    :mod:`repro.analysis.slicing`) makes repeated plan requests for the
+    same fault iid — the harness's detector/reactor rounds re-plan up to
+    4x per mode — skip the graph walk entirely and pay only the
+    trace x log join.
+    """
 
     def __init__(self, module: Module, analysis: Optional[AnalysisResult] = None):
         start = time.perf_counter()
