@@ -1,16 +1,21 @@
 """Hot-path perf trajectory: indexed reactor vs the seed linear scans.
 
-Times plan computation, purge/rollback/bisect mitigation and raw VM
-throughput on a large synthetic checkpoint log (see
-:mod:`repro.harness.hotpaths`) and writes ``results/BENCH_hotpaths.json``
+Times plan computation, purge/rollback/bisect mitigation, raw VM
+throughput, the checkpoint *write path* (``record_update``/persist-hook
+throughput with and without the PR 1 indexes' incremental maintenance)
+and the experiment-matrix sweep (serial loop vs process-pool fan-out,
+summary-identical by construction) on deterministic synthetic state (see
+:mod:`repro.harness.hotpaths`), and writes ``results/BENCH_hotpaths.json``
 so subsequent PRs can track the numbers.
 
 Run standalone (not part of the pytest matrix benchmarks)::
 
-    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py           # full, 50k updates
-    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --quick   # 5k-update smoke, <30s
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py           # full, 50k updates + 12x4 matrix
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --quick   # 5k-update smoke + 6-cell matrix
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --no-matrix
 
-or via the CLI: ``python -m repro bench-hotpaths [--quick]``.
+or via the CLI: ``python -m repro bench-hotpaths [--quick]`` (micro
+benches only; the matrix stage runs two full sweeps and is script-only).
 """
 
 from __future__ import annotations
@@ -24,7 +29,12 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), "..", "src")
 )  # noqa: E402
 
-from repro.harness.hotpaths import render_summary, run_and_write
+from repro.harness.hotpaths import (
+    bench_matrix_sweep,
+    render_summary,
+    run_hotpaths,
+    write_report,
+)
 
 DEFAULT_OUT = os.path.join(
     os.path.dirname(__file__), "..", "results", "BENCH_hotpaths.json"
@@ -34,17 +44,26 @@ DEFAULT_OUT = os.path.join(
 FULL_UPDATES = 50_000
 QUICK_UPDATES = 5_000
 
+#: quick-mode matrix subset: cheap cells, still covering two solutions
+QUICK_MATRIX_FIDS = ["f2", "f4", "f10"]
+QUICK_MATRIX_SOLUTIONS = ["pmcriu", "arckpt"]
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true",
-        help=f"smoke check: {QUICK_UPDATES} updates instead of {FULL_UPDATES}",
+        help=f"smoke check: {QUICK_UPDATES} updates instead of "
+             f"{FULL_UPDATES}, and a small matrix subset",
     )
     parser.add_argument("--updates", type=int, default=None,
                         help="override the synthetic log size")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--vm-iters", type=int, default=50_000)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="matrix fan-out width (default: CPU count)")
+    parser.add_argument("--no-matrix", action="store_true",
+                        help="skip the serial-vs-parallel matrix timing")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="report path ('-' to skip writing)")
     args = parser.parse_args(argv)
@@ -53,10 +72,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if n_updates is None:
         n_updates = QUICK_UPDATES if args.quick else FULL_UPDATES
     out_path = None if args.out == "-" else args.out
-    report = run_and_write(
+    report = run_hotpaths(
         n_updates=n_updates, seed=args.seed, vm_iters=args.vm_iters,
-        out_path=out_path,
     )
+    if not args.no_matrix:
+        if args.quick:
+            report["matrix"] = bench_matrix_sweep(
+                jobs=args.jobs,
+                fids=QUICK_MATRIX_FIDS,
+                solutions=QUICK_MATRIX_SOLUTIONS,
+                seeds=(args.seed,),
+            )
+        else:
+            report["matrix"] = bench_matrix_sweep(
+                jobs=args.jobs, seeds=(args.seed,)
+            )
+    if out_path is not None:
+        write_report(report, out_path)
     print(render_summary(report))
     if out_path is not None:
         print(f"wrote {os.path.relpath(out_path)}")

@@ -18,8 +18,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.checkpoint.log import CheckpointEntry, CheckpointLog, LogEvent
-from repro.errors import AllocationError
+from repro.checkpoint.log import (
+    CheckpointEntry,
+    CheckpointLog,
+    LogEvent,
+    Version,
+)
+from repro.errors import AllocationError, CheckpointError
 from repro.reactor.revert import Reverter
 
 
@@ -83,6 +88,60 @@ def update_addrs_since(log: CheckpointLog, seq: int) -> List[int]:
         if any(v.seq >= seq for v in entry.versions):
             addrs.append(entry.address)
     return addrs
+
+
+# ----------------------------------------------------------------------
+# the seed write path, verbatim
+# ----------------------------------------------------------------------
+class SeedWriteLog(CheckpointLog):
+    """A :class:`CheckpointLog` recording with the *seed's* write path.
+
+    The seed maintained no derived indexes, so its ``record_*`` methods
+    only appended to the entry table and the event stream.  Keeping that
+    path lets ``benchmarks/bench_perf_hotpaths.py`` measure what the
+    PR 1 indexes' incremental maintenance costs on the checkpoint
+    *write* side (every persisted range pays it at runtime, Figure 12's
+    overhead path).  Reads on this class are **not** valid — the derived
+    indexes stay empty — so it must never leave the benchmark.
+    """
+
+    def record_update(
+        self, addr: int, nwords: int, values: List[int], tx_id: int = 0
+    ) -> int:
+        if len(values) != nwords:
+            raise CheckpointError(
+                f"update at {addr:#x}: {len(values)} values for {nwords} words"
+            )
+        ev = self._seed_event("update", addr, nwords, tx_id)
+        entry = self.entries.get(addr)
+        if entry is None:
+            entry = CheckpointEntry(addr, self.max_versions)
+            self.entries[addr] = entry
+        entry.add_version(Version(ev.seq, tuple(values), nwords, tx_id))
+        if tx_id:
+            self.tx_members.setdefault(tx_id, []).append(ev.seq)
+        self.total_updates += 1
+        return ev.seq
+
+    def record_alloc(self, addr: int, nwords: int) -> int:
+        return self._seed_event("alloc", addr, nwords).seq
+
+    def record_free(self, addr: int, nwords: int) -> int:
+        return self._seed_event("free", addr, nwords).seq
+
+    def record_tx_begin(self, tx_id: int) -> int:
+        return self._seed_event("tx-begin", tx_id=tx_id).seq
+
+    def record_tx_commit(self, tx_id: int) -> int:
+        return self._seed_event("tx-commit", tx_id=tx_id).seq
+
+    def _seed_event(
+        self, kind: str, addr: int = 0, nwords: int = 0, tx_id: int = 0
+    ) -> LogEvent:
+        ev = LogEvent(self._next(), kind, addr, nwords, tx_id)
+        self.events.append(ev)
+        self._event_by_seq[ev.seq] = ev
+        return ev
 
 
 # ----------------------------------------------------------------------

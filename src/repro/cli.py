@@ -5,7 +5,10 @@ Subcommands:
 * ``list-faults`` — the Table 2 registry.
 * ``study`` — the Section 2 empirical-study aggregates.
 * ``run`` — one (fault, solution) experiment with full reporting.
-* ``matrix`` — the 12-fault recoverability row for one solution.
+* ``matrix`` — the 12-fault recoverability row for one solution
+  (``--jobs N`` fans the cells out over a process pool).
+* ``matrix-all`` — the full 12-fault x 4-solution sweep in parallel,
+  with a JSON report written under ``results/``.
 * ``analyze`` — static-analysis statistics for one target system.
 * ``bench-hotpaths`` — indexed-vs-linear-scan hot-path benchmark.
 """
@@ -83,25 +86,89 @@ def _cmd_run(args) -> int:
     return 0 if (result.mitigation and result.mitigation.recovered) else 1
 
 
+def _progress_line(done: int, total: int, outcome) -> None:
+    status = "done" if outcome.ok else f"ERROR ({outcome.error['kind']})"
+    print(f"  [{done}/{total}] {outcome.spec.label()}: {status}",
+          file=sys.stderr)
+
+
+def _matrix_row(fid: str, outcome) -> List[object]:
+    if not outcome.ok:
+        return [fid, "ERR", "-", "-", "-"]
+    m = outcome.result().mitigation
+    return [
+        fid,
+        "Y" if (m and m.recovered) else "N",
+        m.attempts if m else "-",
+        f"{m.discarded_pct:.2f}%" if m else "-",
+        {True: "Y", False: "N", None: "-"}[m.consistent if m else None],
+    ]
+
+
 def _cmd_matrix(args) -> int:
-    rows = []
-    for scenario in ALL_SCENARIOS:
-        result = run_experiment(scenario.fid, args.solution, seed=args.seed)
-        m = result.mitigation
-        rows.append([
-            scenario.fid,
-            "Y" if (m and m.recovered) else "N",
-            m.attempts if m else "-",
-            f"{m.discarded_pct:.2f}%" if m else "-",
-            {True: "Y", False: "N", None: "-"}[m.consistent if m else None],
-        ])
-        print(f"  {scenario.fid}: done", file=sys.stderr)
+    from repro.harness.matrix import expand_matrix, run_matrix
+
+    specs = expand_matrix(solutions=[args.solution], seeds=[args.seed])
+    report = run_matrix(
+        specs, jobs=args.jobs, cell_timeout=args.cell_timeout,
+        progress=_progress_line,
+    )
+    by_key = report.by_key()
+    rows = [
+        _matrix_row(spec.fid, by_key[spec.key]) for spec in specs
+    ]
     print(render_table(
-        f"Recoverability row for {args.solution} (seed {args.seed})",
+        f"Recoverability row for {args.solution} (seed {args.seed}, "
+        f"{report.jobs} worker{'s' if report.jobs != 1 else ''}, "
+        f"{report.wall_seconds:.1f}s)",
         ["fault", "recovered", "attempts", "discarded", "consistent"],
         rows,
     ))
-    return 0
+    return 0 if report.n_errors == 0 else 1
+
+
+def _cmd_matrix_all(args) -> int:
+    import json
+    import os
+
+    from repro.harness.matrix import expand_matrix, run_matrix
+
+    specs = expand_matrix(seeds=range(args.seeds))
+    report = run_matrix(
+        specs, jobs=args.jobs, cell_timeout=args.cell_timeout,
+        progress=_progress_line,
+    )
+    rows = []
+    for solution in SOLUTIONS:
+        cells = [c for c in report.cells if c.spec.solution == solution]
+        recovered = sum(
+            1 for c in cells
+            if c.ok and (c.result().mitigation is not None
+                         and c.result().mitigation.recovered)
+        )
+        errors = sum(1 for c in cells if not c.ok)
+        rows.append([solution, len(cells), recovered, errors])
+    print(render_table(
+        f"Full matrix sweep ({args.seeds} seed(s), {report.jobs} "
+        f"worker(s), {report.wall_seconds:.1f}s wall)",
+        ["solution", "cells", "recovered", "errors"],
+        rows,
+    ))
+    if args.out != "-":
+        payload = {
+            "config": {
+                "seeds": args.seeds,
+                "jobs": report.jobs,
+                "cell_timeout": args.cell_timeout,
+            },
+            "report": report.to_json(),
+        }
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.n_errors == 0 else 1
 
 
 def _cmd_analyze(args) -> int:
@@ -159,6 +226,25 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_p = sub.add_parser("matrix", help="all 12 faults for one solution")
     matrix_p.add_argument("--solution", default="arthas", choices=SOLUTIONS)
     matrix_p.add_argument("--seed", type=int, default=0)
+    matrix_p.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: CPU count; "
+                               "1 = exact serial path)")
+    matrix_p.add_argument("--cell-timeout", type=float, default=None,
+                          help="per-cell wall-clock budget in seconds")
+
+    matrix_all_p = sub.add_parser(
+        "matrix-all",
+        help="the full 12-fault x 4-solution sweep over a process pool",
+    )
+    matrix_all_p.add_argument("--seeds", type=int, default=1,
+                              help="run seeds 0..K-1 per cell (default 1)")
+    matrix_all_p.add_argument("--jobs", type=int, default=None,
+                              help="worker processes (default: CPU count; "
+                                   "1 = exact serial path)")
+    matrix_all_p.add_argument("--cell-timeout", type=float, default=None,
+                              help="per-cell wall-clock budget in seconds")
+    matrix_all_p.add_argument("--out", default="results/matrix_all.json",
+                              help="JSON report path ('-' to skip writing)")
 
     analyze_p = sub.add_parser("analyze", help="static-analysis statistics")
     analyze_p.add_argument("--system", required=True,
@@ -187,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "study": _cmd_study,
         "run": _cmd_run,
         "matrix": _cmd_matrix,
+        "matrix-all": _cmd_matrix_all,
         "analyze": _cmd_analyze,
         "bench-hotpaths": _cmd_bench_hotpaths,
     }

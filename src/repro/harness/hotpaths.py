@@ -436,6 +436,166 @@ def bench_plan(
 
 
 # ----------------------------------------------------------------------
+# checkpoint write-path benchmark
+# ----------------------------------------------------------------------
+def _replay_write_stream(log: CheckpointLog, n_updates: int, seed: int) -> float:
+    """Drive one deterministic event stream into ``log``; returns seconds.
+
+    The stream mirrors the synthetic-state mix: mostly whole-object
+    persists over a shared address set, 15% field-granular sub-ranges,
+    occasional transaction groups, plus alloc/free churn so every
+    incrementally maintained index (entry addresses, free events, live
+    allocations) sees traffic.
+    """
+    rng = random.Random(seed)
+    n_objects = max(64, n_updates // 4)
+    bases = [16 + i * OBJ_WORDS for i in range(n_objects)]
+    churn_base = 16 + n_objects * OBJ_WORDS
+    tx_id = 0
+    in_tx = 0
+    start = time.perf_counter()
+    for i in range(n_updates):
+        base = bases[rng.randrange(len(bases))]
+        if rng.random() < 0.15:
+            off = rng.randrange(OBJ_WORDS)
+            size = rng.randrange(1, OBJ_WORDS - off + 1)
+        else:
+            off, size = 0, OBJ_WORDS
+        values = [rng.randrange(1, 1 << 20) for _ in range(size)]
+        if in_tx == 0 and rng.random() < 0.02:
+            tx_id += 1
+            in_tx = rng.randrange(2, 5)
+            log.record_tx_begin(tx_id)
+        log.record_update(base + off, size, values, tx_id=tx_id if in_tx else 0)
+        if in_tx:
+            in_tx -= 1
+            if in_tx == 0:
+                log.record_tx_commit(tx_id)
+        if rng.random() < 0.01:
+            addr = churn_base + (i % 256) * OBJ_WORDS
+            log.record_alloc(addr, OBJ_WORDS)
+            log.record_free(addr, OBJ_WORDS)
+    return time.perf_counter() - start
+
+
+def _persist_hook_throughput(log_factory, n_persists: int, seed: int) -> float:
+    """Seconds for ``n_persists`` full write+persist cycles with the
+    checkpoint manager attached (the Figure 12 runtime-overhead path)."""
+    from repro.checkpoint.manager import CheckpointManager
+    from repro.pmem.tx import TransactionManager
+
+    n_objects = 256
+    pool = PMPool((n_objects + 8) * OBJ_WORDS + 1024, name="writepath")
+    allocator = PMAllocator(pool)
+    txman = TransactionManager(pool)
+    manager = CheckpointManager(pool, allocator, txman, log=log_factory())
+    manager.attach()
+    addrs = [allocator.zalloc(OBJ_WORDS, site="wp-obj") for _ in range(n_objects)]
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    for _ in range(n_persists):
+        addr = addrs[rng.randrange(n_objects)]
+        for j in range(OBJ_WORDS):
+            pool.write(addr + j, rng.randrange(1, 1 << 20))
+        pool.persist(addr, OBJ_WORDS)
+    seconds = time.perf_counter() - start
+    if manager.updates_recorded != n_persists:  # pragma: no cover - sanity
+        raise RuntimeError("persist hook missed updates")
+    return seconds
+
+
+def bench_write_path(n_updates: int, seed: int = 0) -> Dict[str, object]:
+    """Checkpoint *write-path* cost: indexed log vs the seed record path.
+
+    PR 1's reactor indexes are maintained incrementally inside
+    ``record_update``/``record_alloc``/``record_free``, i.e. on the hot
+    write path every persisted range pays at runtime.  This times the
+    identical event stream against the production
+    :class:`~repro.checkpoint.log.CheckpointLog` and against
+    :class:`~repro.checkpoint.reference.SeedWriteLog` (the index-free
+    seed path), both as raw ``record_update`` calls and end-to-end
+    through the pool's persist hook.
+    """
+    from repro.checkpoint.reference import SeedWriteLog
+
+    indexed_rec = _replay_write_stream(CheckpointLog(), n_updates, seed)
+    seed_rec = _replay_write_stream(SeedWriteLog(), n_updates, seed)
+    n_persists = min(n_updates, 20_000)
+    indexed_hook = _persist_hook_throughput(CheckpointLog, n_persists, seed)
+    seed_hook = _persist_hook_throughput(SeedWriteLog, n_persists, seed)
+    return {
+        "n_updates": n_updates,
+        "n_persists": n_persists,
+        "record_update": {
+            "indexed_seconds": indexed_rec,
+            "seed_seconds": seed_rec,
+            "indexed_updates_per_second": n_updates / max(indexed_rec, 1e-9),
+            "seed_updates_per_second": n_updates / max(seed_rec, 1e-9),
+            "index_overhead_pct":
+                100.0 * (indexed_rec - seed_rec) / max(seed_rec, 1e-9),
+        },
+        "persist_hook": {
+            "indexed_seconds": indexed_hook,
+            "seed_seconds": seed_hook,
+            "indexed_persists_per_second": n_persists / max(indexed_hook, 1e-9),
+            "seed_persists_per_second": n_persists / max(seed_hook, 1e-9),
+            "index_overhead_pct":
+                100.0 * (indexed_hook - seed_hook) / max(seed_hook, 1e-9),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# parallel-matrix benchmark
+# ----------------------------------------------------------------------
+def bench_matrix_sweep(
+    jobs: Optional[int] = None,
+    fids: Optional[List[str]] = None,
+    solutions: Optional[List[str]] = None,
+    seeds: Tuple[int, ...] = (0,),
+) -> Dict[str, object]:
+    """Wall-clock of the experiment matrix, serial loop vs process pool.
+
+    Runs the same cell set twice — ``jobs=1`` (the exact serial path)
+    and ``jobs=N`` (default: CPU count) — and *requires* the two sweeps
+    to produce summary-identical cells; the timing is only meaningful if
+    the fan-out is exact.  Speedup scales with available cores: on a
+    single-CPU host the pool adds spawn overhead and the ratio sits
+    near (or below) 1.
+    """
+    from repro.harness.matrix import (
+        comparable_summary,
+        expand_matrix,
+        run_matrix,
+    )
+
+    n_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    specs = expand_matrix(fids=fids, solutions=solutions, seeds=seeds)
+    serial = run_matrix(specs, jobs=1)
+    parallel = run_matrix(specs, jobs=n_jobs)
+    ser = {k: comparable_summary(v) for k, v in serial.summaries().items()}
+    par = {k: comparable_summary(v) for k, v in parallel.summaries().items()}
+    if ser != par:
+        diverged = [k for k in ser if ser[k] != par.get(k)]
+        raise RuntimeError(
+            "parallel matrix diverged from the serial loop — fan-out bug: "
+            + ", ".join("/".join(map(str, k)) for k in diverged[:8])
+        )
+    if serial.n_errors or parallel.n_errors:
+        raise RuntimeError("matrix sweep had error cells; timings invalid")
+    return {
+        "cells": len(specs),
+        "seeds": list(seeds),
+        "jobs": n_jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial.wall_seconds,
+        "parallel_seconds": parallel.wall_seconds,
+        "speedup": serial.wall_seconds / max(parallel.wall_seconds, 1e-9),
+        "summaries_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
 # VM throughput benchmark
 # ----------------------------------------------------------------------
 _VM_SRC = '''
@@ -477,6 +637,7 @@ def run_hotpaths(
     plan = bench_plan(n_updates, seed=seed, rounds=rounds)
     mitigation = bench_mitigation(n_updates, seed=seed)
     vm = bench_vm(vm_iters)
+    write_path = bench_write_path(n_updates, seed=seed)
     indexed = float(plan["indexed_seconds"]) + sum(
         float(m["indexed_seconds"]) for m in mitigation.values()
     )
@@ -494,11 +655,16 @@ def run_hotpaths(
         "plan": plan,
         "mitigation": mitigation,
         "vm": vm,
+        "write_path": write_path,
         "summary": {
             "indexed_plan_plus_mitigation_seconds": indexed,
             "reference_plan_plus_mitigation_seconds": ref,
             "plan_plus_mitigation_speedup": ref / max(indexed, 1e-9),
             "vm_steps_per_second": vm["steps_per_second"],
+            "write_path_updates_per_second":
+                write_path["record_update"]["indexed_updates_per_second"],
+            "write_path_index_overhead_pct":
+                write_path["record_update"]["index_overhead_pct"],
         },
     }
 
@@ -525,6 +691,24 @@ def render_summary(report: Dict[str, object]) -> str:
         f"  vm:        {s['vm_steps_per_second']:,.0f} steps/s "
         f"({report['vm']['steps']} steps)"
     )
+    wp = report.get("write_path")
+    if wp is not None:
+        rec, hook = wp["record_update"], wp["persist_hook"]
+        lines.append(
+            f"  write:     {rec['indexed_updates_per_second']:,.0f} "
+            f"record_update/s (index overhead "
+            f"{rec['index_overhead_pct']:+.1f}% vs seed path), "
+            f"{hook['indexed_persists_per_second']:,.0f} persist-hook/s "
+            f"({hook['index_overhead_pct']:+.1f}%)"
+        )
+    mx = report.get("matrix")
+    if mx is not None:
+        lines.append(
+            f"  matrix:    {mx['cells']} cells  serial "
+            f"{mx['serial_seconds']:.1f}s  parallel({mx['jobs']} jobs) "
+            f"{mx['parallel_seconds']:.1f}s  ({mx['speedup']:.2f}x on "
+            f"{mx['cpu_count']} CPU(s), summaries identical)"
+        )
     lines.append(
         f"  plan+mitigation speedup: "
         f"{s['plan_plus_mitigation_speedup']:.1f}x "
@@ -547,8 +731,13 @@ def run_and_write(
         n_updates=n_updates, seed=seed, vm_iters=vm_iters, rounds=rounds
     )
     if out_path is not None:
-        os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
-        with open(out_path, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
+        write_report(report, out_path)
     return report
+
+
+def write_report(report: Dict[str, object], out_path: str) -> None:
+    """Persist one report dict as pretty-printed JSON."""
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")

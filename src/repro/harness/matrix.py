@@ -1,0 +1,492 @@
+"""Parallel experiment-matrix runner (process-pool fan-out).
+
+PR 1 made each cell of the 12-fault x 4-solution evaluation matrix fast;
+the wall-clock bottleneck became the *serial* sweep that the CLI and the
+table/figure benchmarks run one cell at a time.  Cells are independent
+and deterministic per ``(fault, solution, seed)``, so this module fans
+them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* :func:`expand_matrix` builds the cell-spec list (the cross product);
+* :func:`run_matrix` executes it — ``jobs=1`` is the exact serial path
+  (same code, no pool, for debugging), ``jobs=N`` fans out over ``N``
+  worker processes that import :mod:`repro` fresh (spawn start method)
+  and call :func:`repro.harness.experiment.run_experiment`;
+* :func:`summarize_result` / :func:`result_from_summary` round-trip an
+  :class:`~repro.harness.experiment.ExperimentResult` through a plain
+  JSON-compatible dict, the only payload that crosses the process
+  boundary (and the format persisted under ``results/``, following the
+  JSON-artifact convention of :mod:`repro.instrument.artifacts`).
+
+Failure handling: a cell that raises inside a worker produces a per-cell
+*error record* instead of aborting the sweep; a cell that exceeds the
+optional per-cell timeout is recorded as ``timeout``; a worker process
+dying (``BrokenProcessPool``) rebuilds the pool and retries the
+unfinished cells once before recording ``worker-crash`` errors.
+Progress is reported incrementally as futures complete.
+
+Determinism: ``run_experiment`` depends only on the cell spec, so the
+parallel sweep must produce summary-*equal* cells to the serial loop at
+every seed — modulo the few fields that record measured wall-clock time
+(the slicer times itself; :func:`comparable_summary` zeroes them for
+comparison).  ``tests/test_matrix_parallel.py`` and the matrix section
+of ``benchmarks/bench_perf_hotpaths.py`` enforce exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, fields
+from multiprocessing import get_context
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.experiment import (
+    SOLUTIONS,
+    ExperimentResult,
+    MitigationRun,
+    run_experiment,
+)
+from repro.lang.interp import FaultInfo
+
+#: matrix axes of the paper's evaluation (Section 6.1)
+ALL_FAULT_IDS = tuple(f"f{i}" for i in range(1, 13))
+ALL_SOLUTIONS = SOLUTIONS
+
+#: fields of ExperimentResult handled specially by the summary round-trip
+_NESTED_FIELDS = ("detection_fault", "mitigation")
+
+
+# ----------------------------------------------------------------------
+# cell specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, order=True)
+class CellSpec:
+    """One (fault, solution, seed) cell of the evaluation matrix."""
+
+    fid: str
+    solution: str
+    seed: int = 0
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        return (self.fid, self.solution, self.seed)
+
+    def label(self) -> str:
+        return f"{self.fid}/{self.solution}@{self.seed}"
+
+
+def expand_matrix(
+    fids: Optional[Iterable[str]] = None,
+    solutions: Optional[Iterable[str]] = None,
+    seeds: Iterable[int] = (0,),
+) -> List[CellSpec]:
+    """The cross product of the given axes, solution-major like the
+    serial CLI sweep (all faults of one solution, then the next)."""
+    fid_list = list(fids) if fids is not None else list(ALL_FAULT_IDS)
+    sol_list = list(solutions) if solutions is not None else list(ALL_SOLUTIONS)
+    return [
+        CellSpec(fid, sol, seed)
+        for sol in sol_list
+        for fid in fid_list
+        for seed in seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# summary round-trip
+# ----------------------------------------------------------------------
+def summarize_result(result: ExperimentResult) -> Dict[str, object]:
+    """Serialize an :class:`ExperimentResult` to a picklable/JSON dict.
+
+    Every dataclass field is carried verbatim (enumerated via
+    ``dataclasses.fields`` so new fields cannot silently be dropped);
+    nested ``FaultInfo``/``MitigationRun`` become nested dicts.
+    """
+    out: Dict[str, object] = {}
+    for f in fields(ExperimentResult):
+        if f.name in _NESTED_FIELDS:
+            continue
+        value = getattr(result, f.name)
+        out[f.name] = list(value) if isinstance(value, list) else value
+    fault = result.detection_fault
+    out["detection_fault"] = (
+        None
+        if fault is None
+        else {
+            f.name: (
+                list(getattr(fault, f.name))
+                if isinstance(getattr(fault, f.name), list)
+                else getattr(fault, f.name)
+            )
+            for f in fields(FaultInfo)
+        }
+    )
+    run = result.mitigation
+    out["mitigation"] = (
+        None
+        if run is None
+        else {
+            f.name: (
+                list(getattr(run, f.name))
+                if isinstance(getattr(run, f.name), list)
+                else getattr(run, f.name)
+            )
+            for f in fields(MitigationRun)
+        }
+    )
+    return out
+
+
+#: summary fields that record *measured wall-clock* time — the slicer
+#: times itself with a real clock (`ReversionPlan.slicing_seconds`), so
+#: two runs of the same cell agree on every field except these.
+#: (`duration_seconds` is the *simulated* clock and stays deterministic.)
+_WALL_CLOCK_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("mitigation", "slicing_seconds"),
+)
+
+
+def comparable_summary(
+    summary: Optional[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """*summary* with measured wall-clock fields zeroed (a copy).
+
+    A cell is a deterministic function of ``(fault, solution, seed)``
+    **except** for fields holding real elapsed time; serial-vs-parallel
+    equality checks must compare through this canonical form.
+    """
+    if summary is None:
+        return None
+    out = dict(summary)
+    for parent, leaf in _WALL_CLOCK_FIELDS:
+        nested = out.get(parent)
+        if isinstance(nested, dict) and leaf in nested:
+            nested = dict(nested)
+            nested[leaf] = 0.0
+            out[parent] = nested
+    return out
+
+
+def result_from_summary(summary: Dict[str, object]) -> ExperimentResult:
+    """Rebuild the :class:`ExperimentResult` a summary dict came from."""
+    data = dict(summary)
+    fault = data.pop("detection_fault", None)
+    run = data.pop("mitigation", None)
+    result = ExperimentResult(**data)
+    if fault is not None:
+        result.detection_fault = FaultInfo(**fault)
+    if run is not None:
+        result.mitigation = MitigationRun(**run)
+    return result
+
+
+# ----------------------------------------------------------------------
+# the worker side
+# ----------------------------------------------------------------------
+class CellTimeout(BaseException):
+    """Raised inside a worker when a cell exceeds its wall-clock budget.
+
+    Subclasses ``BaseException`` (like ``KeyboardInterrupt``) so that no
+    ``except Exception`` inside the experiment stack can swallow it.
+    """
+
+
+def _run_cell_payload(
+    key: Tuple[str, str, int], timeout: Optional[float]
+) -> Dict[str, object]:
+    """Execute one cell; returns an ``ok`` or ``error`` payload dict.
+
+    Runs in the worker process (and, for ``jobs=1``, in the caller).  All
+    expected failures are converted to data here so the future never
+    carries an exception for an in-cell error — only worker *death*
+    surfaces at the pool level.  The per-cell timeout uses ``SIGALRM``
+    (pool workers execute tasks on their main thread); it is skipped off
+    the main thread, where signals cannot be delivered.
+    """
+    fid, solution, seed = key
+    start = time.perf_counter()
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and threading.current_thread() is threading.main_thread()
+        and hasattr(signal, "setitimer")
+    )
+    old_handler = None
+    if use_alarm:
+        def _on_alarm(_signum, _frame):
+            raise CellTimeout(f"cell exceeded {timeout:.3f}s")
+
+        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        result = run_experiment(fid, solution, seed=seed)
+        return {
+            "status": "ok",
+            "summary": summarize_result(result),
+            "seconds": time.perf_counter() - start,
+        }
+    except CellTimeout as exc:
+        return {
+            "status": "error",
+            "error": {
+                "kind": "timeout",
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": "",
+            },
+            "seconds": time.perf_counter() - start,
+        }
+    except Exception as exc:
+        return {
+            "status": "error",
+            "error": {
+                "kind": "exception",
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            "seconds": time.perf_counter() - start,
+        }
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+
+# ----------------------------------------------------------------------
+# the caller side
+# ----------------------------------------------------------------------
+@dataclass
+class CellOutcome:
+    """Result of one cell: a summary dict, or an error record."""
+
+    spec: CellSpec
+    summary: Optional[Dict[str, object]] = None
+    error: Optional[Dict[str, object]] = None
+    seconds: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.summary is not None
+
+    def result(self) -> ExperimentResult:
+        """The rebuilt :class:`ExperimentResult` (raises on error cells)."""
+        if self.summary is None:
+            raise RuntimeError(
+                f"cell {self.spec.label()} failed: {self.error}"
+            )
+        return result_from_summary(self.summary)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "fid": self.spec.fid,
+            "solution": self.spec.solution,
+            "seed": self.spec.seed,
+            "ok": self.ok,
+            "summary": self.summary,
+            "error": self.error,
+            "seconds": self.seconds,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class MatrixReport:
+    """Outcome of one sweep, cells in spec order (not completion order)."""
+
+    jobs: int
+    cells: List[CellOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for c in self.cells if c.ok)
+
+    @property
+    def n_errors(self) -> int:
+        return len(self.cells) - self.n_ok
+
+    def by_key(self) -> Dict[Tuple[str, str, int], CellOutcome]:
+        return {c.spec.key: c for c in self.cells}
+
+    def summaries(self) -> Dict[Tuple[str, str, int], Optional[Dict[str, object]]]:
+        """Cell summaries keyed by spec — the equality-comparison view."""
+        return {c.spec.key: c.summary for c in self.cells}
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "n_cells": len(self.cells),
+            "n_ok": self.n_ok,
+            "n_errors": self.n_errors,
+            "cells": [c.to_json() for c in self.cells],
+        }
+
+
+ProgressFn = Callable[[int, int, CellOutcome], None]
+
+
+def default_jobs() -> int:
+    """Default fan-out width: one worker per CPU."""
+    return os.cpu_count() or 1
+
+
+def run_matrix(
+    specs: Sequence[CellSpec],
+    jobs: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+    max_crash_retries: int = 1,
+) -> MatrixReport:
+    """Run every cell, serially (``jobs=1``) or over a process pool.
+
+    The two paths execute the identical per-cell code
+    (:func:`_run_cell_payload`) and return identical summaries; only the
+    scheduling differs.  ``progress`` is invoked once per finished cell
+    with ``(done, total, outcome)`` in completion order.
+    """
+    specs = list(specs)
+    n_jobs = jobs if jobs is not None else default_jobs()
+    if n_jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {n_jobs}")
+    start = time.perf_counter()
+    outcomes: Dict[int, CellOutcome] = {}
+    done = 0
+
+    def record(index: int, outcome: CellOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(done, len(specs), outcome)
+
+    if n_jobs == 1 or len(specs) <= 1:
+        for i, spec in enumerate(specs):
+            payload = _run_cell_payload(spec.key, cell_timeout)
+            record(i, _outcome_from_payload(spec, payload, attempts=1))
+    else:
+        _run_pooled(
+            specs, n_jobs, cell_timeout, record, max_crash_retries
+        )
+
+    report = MatrixReport(jobs=n_jobs)
+    report.cells = [outcomes[i] for i in range(len(specs))]
+    report.wall_seconds = time.perf_counter() - start
+    return report
+
+
+def _outcome_from_payload(
+    spec: CellSpec, payload: Dict[str, object], attempts: int
+) -> CellOutcome:
+    return CellOutcome(
+        spec=spec,
+        summary=payload.get("summary") if payload["status"] == "ok" else None,
+        error=payload.get("error") if payload["status"] != "ok" else None,
+        seconds=float(payload.get("seconds", 0.0)),
+        attempts=attempts,
+    )
+
+
+def _run_pooled(
+    specs: List[CellSpec],
+    n_jobs: int,
+    cell_timeout: Optional[float],
+    record: Callable[[int, CellOutcome], None],
+    max_crash_retries: int,
+) -> None:
+    """Fan the cells out, rebuilding the pool after worker death.
+
+    Workers use the ``spawn`` start method so each imports :mod:`repro`
+    fresh — no state leaks from the parent, and fork-safety of the
+    harness is never assumed.  When the pool breaks, every unfinished
+    cell's attempt count is bumped (the dead worker's cell cannot be told
+    apart from innocently queued ones); cells past their retry budget get
+    ``worker-crash`` error records, the rest are resubmitted to a fresh
+    pool.
+    """
+    pending: Dict[int, CellSpec] = dict(enumerate(specs))
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    # bounded pool rebuilds: each rebuild errors-out or retires at least
+    # one cell, but cap defensively anyway
+    for _rebuild in range(len(specs) + max_crash_retries + 1):
+        if not pending:
+            return
+        ctx = get_context("spawn")
+        broken = False
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(pending)), mp_context=ctx
+        ) as pool:
+            futures = {
+                pool.submit(_run_cell_payload, spec.key, cell_timeout): i
+                for i, spec in pending.items()
+            }
+            not_done = set(futures)
+            while not_done:
+                finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    i = futures[fut]
+                    spec = pending[i]
+                    try:
+                        payload = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    except Exception as exc:  # pragma: no cover - transport
+                        # e.g. the payload failed to pickle; treat as an
+                        # in-cell error, not a crash
+                        record(i, CellOutcome(
+                            spec=spec,
+                            error={
+                                "kind": "exception",
+                                "type": type(exc).__name__,
+                                "message": str(exc),
+                                "traceback": traceback.format_exc(),
+                            },
+                            attempts=attempts[i] + 1,
+                        ))
+                        del pending[i]
+                        continue
+                    record(i, _outcome_from_payload(
+                        spec, payload, attempts=attempts[i] + 1
+                    ))
+                    del pending[i]
+                if broken:
+                    break
+        if not broken:
+            return
+        # worker death: bump attempts for everything unfinished, retire
+        # cells that exhausted the retry budget, resubmit the rest
+        for i in list(pending):
+            attempts[i] += 1
+            if attempts[i] > max_crash_retries:
+                record(i, CellOutcome(
+                    spec=pending[i],
+                    error={
+                        "kind": "worker-crash",
+                        "type": "BrokenProcessPool",
+                        "message": "worker process died while the cell "
+                                   "was queued or running",
+                        "traceback": "",
+                    },
+                    attempts=attempts[i],
+                ))
+                del pending[i]
+    if pending:  # pragma: no cover - defensive cap
+        for i, spec in pending.items():
+            record(i, CellOutcome(
+                spec=spec,
+                error={
+                    "kind": "worker-crash",
+                    "type": "BrokenProcessPool",
+                    "message": "pool rebuild budget exhausted",
+                    "traceback": "",
+                },
+                attempts=attempts[i],
+            ))

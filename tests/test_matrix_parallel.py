@@ -1,0 +1,158 @@
+"""The parallel experiment-matrix runner (``repro.harness.matrix``).
+
+Three properties gate the fan-out:
+
+* **exactness** — a ``jobs=2`` process-pool sweep produces summary-equal
+  cells to the ``jobs=1`` serial loop, cell by cell (cells are
+  deterministic per (fault, solution, seed), so any divergence is a
+  runner bug, not noise);
+* **robustness** — a cell that raises inside a worker yields a per-cell
+  error record while every other cell still completes;
+* **fidelity** — the summary dict <-> :class:`ExperimentResult` round
+  trip (including a JSON encode/decode, the on-disk cache format)
+  preserves every field the table/figure benches consume.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.harness.matrix import (
+    ALL_FAULT_IDS,
+    CellSpec,
+    comparable_summary,
+    expand_matrix,
+    result_from_summary,
+    run_matrix,
+    summarize_result,
+)
+
+#: a cheap 4-cell subset (sub-second cells, two systems, two solutions)
+SUBSET = [
+    CellSpec("f4", "arckpt", 0),
+    CellSpec("f2", "pmcriu", 0),
+    CellSpec("f10", "arckpt", 0),
+    CellSpec("f4", "pmcriu", 0),
+]
+
+
+def test_expand_matrix_is_solution_major_cross_product():
+    specs = expand_matrix(seeds=(0, 1))
+    assert len(specs) == 12 * 4 * 2
+    assert len(set(specs)) == len(specs)
+    # solution-major like the serial CLI sweep
+    assert specs[0].solution == specs[23].solution
+    assert [s.fid for s in specs[:2]] == ["f1", "f1"]
+    assert {s.fid for s in specs} == set(ALL_FAULT_IDS)
+
+
+def test_parallel_summaries_equal_serial_cell_by_cell():
+    serial = run_matrix(SUBSET, jobs=1)
+    parallel = run_matrix(SUBSET, jobs=2)
+    assert serial.n_errors == 0 and parallel.n_errors == 0
+    assert [c.spec for c in serial.cells] == SUBSET  # spec order kept
+    for ser_cell, par_cell in zip(serial.cells, parallel.cells):
+        assert ser_cell.spec == par_cell.spec
+        # comparable_summary zeroes the measured-wall-clock fields (the
+        # slicer times itself); everything else must match exactly
+        assert comparable_summary(ser_cell.summary) == comparable_summary(
+            par_cell.summary
+        ), ser_cell.spec.label()
+
+
+def test_jobs4_and_nonzero_seeds_match_serial():
+    # acceptance: --jobs >= 4 summary-identical at seed 0 AND a nonzero
+    # seed (seeding feeds the trigger-time draw, so this exercises a
+    # genuinely different trajectory per cell).  The f2/arthas cell runs
+    # the full slicing+reversion pipeline — the part that is sensitive
+    # to per-process hash randomization only through the wall-clock
+    # field comparable_summary excludes.
+    specs = [
+        CellSpec("f4", "arckpt", 0),
+        CellSpec("f2", "arthas", 0),
+        CellSpec("f4", "arckpt", 3),
+        CellSpec("f2", "pmcriu", 3),
+        CellSpec("f10", "arckpt", 3),
+    ]
+    serial = run_matrix(specs, jobs=1)
+    parallel = run_matrix(specs, jobs=4)
+    assert serial.n_errors == 0 and parallel.n_errors == 0
+    ser = {k: comparable_summary(v) for k, v in serial.summaries().items()}
+    par = {k: comparable_summary(v) for k, v in parallel.summaries().items()}
+    assert ser == par
+
+
+def test_worker_exception_yields_error_record_not_abort():
+    specs = [
+        CellSpec("f4", "arckpt", 0),
+        CellSpec("f99", "arthas", 0),   # unknown fault id -> KeyError
+        CellSpec("f2", "nosuch", 0),    # unknown solution -> ValueError
+        CellSpec("f4", "pmcriu", 0),
+    ]
+    report = run_matrix(specs, jobs=2)
+    by_key = report.by_key()
+    assert by_key[("f4", "arckpt", 0)].ok
+    assert by_key[("f4", "pmcriu", 0)].ok
+    bad_fid = by_key[("f99", "arthas", 0)]
+    assert not bad_fid.ok
+    assert bad_fid.error["kind"] == "exception"
+    assert bad_fid.error["type"] == "KeyError"
+    bad_sol = by_key[("f2", "nosuch", 0)]
+    assert not bad_sol.ok
+    assert bad_sol.error["type"] == "ValueError"
+    assert report.n_errors == 2 and report.n_ok == 2
+    with pytest.raises(RuntimeError):
+        bad_fid.result()
+
+
+def test_serial_path_reports_errors_identically():
+    report = run_matrix([CellSpec("f99", "arthas", 0)], jobs=1)
+    assert report.cells[0].error["type"] == "KeyError"
+    assert report.cells[0].error["kind"] == "exception"
+
+
+def test_cell_timeout_yields_timeout_record():
+    # f1/arthas runs a multi-second mitigation; 50ms cannot finish it
+    report = run_matrix(
+        [CellSpec("f1", "arthas", 0)], jobs=1, cell_timeout=0.05
+    )
+    cell = report.cells[0]
+    assert not cell.ok
+    assert cell.error["kind"] == "timeout"
+
+
+@pytest.mark.parametrize("fid,solution", [("f4", "arckpt"), ("f2", "pmcriu")])
+def test_summary_round_trip_preserves_every_field(fid, solution):
+    result = run_experiment(fid, solution, seed=0)
+    summary = summarize_result(result)
+    # through JSON: the exact payload the disk cache / results files hold
+    rebuilt = result_from_summary(json.loads(json.dumps(summary)))
+    assert rebuilt.fid == result.fid
+    assert rebuilt.solution == result.solution
+    assert rebuilt.seed == result.seed
+    assert rebuilt.manifested == result.manifested
+    assert rebuilt.confirmed_hard == result.confirmed_hard
+    assert rebuilt.detection_fault == result.detection_fault
+    assert rebuilt.detection_violation == result.detection_violation
+    assert rebuilt.invariant_violations == result.invariant_violations
+    assert rebuilt.checksum_hits == result.checksum_hits
+    # MitigationRun is a dataclass: == covers every field the benches use
+    assert rebuilt.mitigation == result.mitigation
+    assert rebuilt.mitigation.discarded_pct == result.mitigation.discarded_pct
+    # and the round trip is a fixed point
+    assert summarize_result(rebuilt) == summary
+
+
+def test_round_trip_of_unmanifested_and_faultless_cells():
+    # a summary with no mitigation/fault must survive the trip too
+    from repro.harness.experiment import ExperimentResult
+
+    bare = ExperimentResult(
+        fid="f1", solution="arthas", seed=5, manifested=False
+    )
+    summary = summarize_result(bare)
+    rebuilt = result_from_summary(json.loads(json.dumps(summary)))
+    assert rebuilt == bare
