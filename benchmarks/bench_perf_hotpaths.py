@@ -3,8 +3,10 @@
 Times plan computation, purge/rollback/bisect mitigation, raw VM
 throughput, the checkpoint *write path* (``record_update``/persist-hook
 throughput with and without the PR 1 indexes' incremental maintenance)
-and the experiment-matrix sweep (serial loop vs process-pool fan-out,
-summary-identical by construction) on deterministic synthetic state (see
+the experiment-matrix sweep (serial loop vs process-pool fan-out,
+summary-identical by construction) and the fault-injection sweep
+(recovery success rate + mean recovery time over every enumerable crash
+site; 100% verification required) on deterministic synthetic state (see
 :mod:`repro.harness.hotpaths`), and writes ``results/BENCH_hotpaths.json``
 so subsequent PRs can track the numbers.
 
@@ -30,6 +32,7 @@ sys.path.insert(
 )  # noqa: E402
 
 from repro.harness.hotpaths import (
+    bench_inject_sweep,
     bench_matrix_sweep,
     render_summary,
     run_hotpaths,
@@ -64,6 +67,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="matrix fan-out width (default: CPU count)")
     parser.add_argument("--no-matrix", action="store_true",
                         help="skip the serial-vs-parallel matrix timing")
+    parser.add_argument("--no-inject", action="store_true",
+                        help="skip the fault-injection sweep stage")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="report path ('-' to skip writing)")
     args = parser.parse_args(argv)
@@ -87,6 +92,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             report["matrix"] = bench_matrix_sweep(
                 jobs=args.jobs, seeds=(args.seed,)
             )
+    if not args.no_inject:
+        report["inject_sweep"] = bench_inject_sweep(
+            seed=args.seed, max_per_site=1 if args.quick else 3,
+        )
     if out_path is not None:
         write_report(report, out_path)
     print(render_summary(report))

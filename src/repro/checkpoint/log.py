@@ -35,14 +35,28 @@ Deserialized logs (``instrument.artifacts``) call
 
 from __future__ import annotations
 
+import zlib
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, CorruptLogError
 
 #: default maximum versions retained per entry (paper default: 3)
 MAX_VERSIONS = 3
+
+
+def version_crc(addr: int, seq: int, data: Tuple[int, ...], size: int, tx_id: int) -> int:
+    """Checksum binding a version's data to its identity.
+
+    Computed when the version is recorded and carried through
+    serialization; any later divergence of the data words (a bit flip in
+    the checkpoint region) is caught by
+    :meth:`CheckpointLog.verify_checksums`.
+    """
+    head = f"{addr}:{seq}:{size}:{tx_id}:".encode()
+    body = ",".join(map(str, data)).encode()
+    return zlib.crc32(body, zlib.crc32(head)) & 0xFFFFFFFF
 
 
 @dataclass
@@ -53,6 +67,9 @@ class Version:
     data: Tuple[int, ...]
     size: int
     tx_id: int = 0
+    #: checksum from :func:`version_crc`; -1 = recorded without one
+    #: (reference/seed logs), which the verifier skips
+    crc: int = -1
 
 
 @dataclass
@@ -162,6 +179,8 @@ class CheckpointLog:
         #: alloc'd-and-not-yet-freed blocks, in first-alloc order —
         #: maintained incrementally instead of replaying all events
         self._live_allocs: Dict[int, int] = {}
+        #: (addr, Version) pairs removed by :meth:`quarantine_corrupt`
+        self.quarantined: List[Tuple[int, Version]] = []
 
     # ------------------------------------------------------------------
     def _next(self) -> int:
@@ -196,7 +215,11 @@ class CheckpointLog:
         entry = self.entries.get(addr)
         if entry is None:
             entry = self._new_entry(addr)
-        entry.add_version(Version(ev.seq, tuple(values), nwords, tx_id))
+        data = tuple(values)
+        entry.add_version(Version(
+            ev.seq, data, nwords, tx_id,
+            crc=version_crc(addr, ev.seq, data, nwords, tx_id),
+        ))
         if nwords > self._max_version_size:
             self._max_version_size = nwords
         if tx_id:
@@ -241,13 +264,77 @@ class CheckpointLog:
         new.old_entry = old_addr
 
     # ------------------------------------------------------------------
-    def rebuild_indexes(self) -> None:
+    def validate_raw_state(self) -> None:
+        """Raise :class:`CorruptLogError` when the raw entry/event state
+        violates the log's structural invariants.
+
+        Deserialized logs used to be trusted blindly; a corrupt file
+        (torn tail, bit rot, a buggy writer) would silently get indexes
+        rebuilt over garbage.  Checked invariants:
+
+        * event sequence numbers are strictly increasing and below
+          ``next_seq``;
+        * each entry's retained versions are seq-ascending, below
+          ``next_seq``, and consistent with ``total_versions``;
+        * realloc forward links (``new_entry``) target an existing entry
+          whose ``old_entry`` points back (backward links may dangle:
+          the pre-realloc incarnation may never have been persisted).
+        """
+        last = 0
+        for ev in self.events:
+            if ev.seq <= last:
+                raise CorruptLogError(
+                    f"event stream out of order: seq {ev.seq} after {last}"
+                )
+            last = ev.seq
+        if last >= self._next_seq:
+            raise CorruptLogError(
+                f"event seq {last} >= next_seq {self._next_seq}"
+            )
+        for addr, entry in self.entries.items():
+            if entry.address != addr:
+                raise CorruptLogError(
+                    f"entry keyed {addr:#x} claims address {entry.address:#x}"
+                )
+            prev = 0
+            for v in entry.versions:
+                if v.seq <= prev:
+                    raise CorruptLogError(
+                        f"entry {addr:#x}: version seqs out of order "
+                        f"({v.seq} after {prev})"
+                    )
+                if v.seq >= self._next_seq:
+                    raise CorruptLogError(
+                        f"entry {addr:#x}: version seq {v.seq} >= next_seq "
+                        f"{self._next_seq}"
+                    )
+                prev = v.seq
+            if entry.total_versions < len(entry.versions):
+                raise CorruptLogError(
+                    f"entry {addr:#x}: total_versions {entry.total_versions} "
+                    f"< {len(entry.versions)} retained"
+                )
+            if entry.new_entry is not None:
+                target = self.entries.get(entry.new_entry)
+                if target is None or target.old_entry != addr:
+                    raise CorruptLogError(
+                        f"entry {addr:#x}: dangling realloc link to "
+                        f"{entry.new_entry:#x}"
+                    )
+
+    def rebuild_indexes(self, validate: bool = True) -> None:
         """Recompute every derived index from ``entries`` and ``events``.
 
         Deserialization (:mod:`repro.instrument.artifacts`) populates the
         raw entry/event state directly; this restores the invariants the
-        record_* methods maintain incrementally.
+        record_* methods maintain incrementally.  ``validate`` (default)
+        runs :meth:`validate_raw_state` first so a corrupt log raises a
+        typed :class:`CorruptLogError` instead of silently getting
+        indexes rebuilt over bad state; repair paths that have already
+        quarantined what they could pass ``validate=False``.
         """
+        if validate:
+            self.validate_raw_state()
         self._entry_addrs = sorted(self.entries)
         self._max_version_size = 1
         for order, entry in enumerate(self.entries.values()):
@@ -372,3 +459,50 @@ class CheckpointLog:
     def live_unfreed_allocs(self) -> Dict[int, int]:
         """Blocks with an alloc event and no later free (leak candidates)."""
         return dict(self._live_allocs)
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def verify_checksums(self) -> List[Tuple[int, int]]:
+        """(address, seq) of retained versions whose data no longer
+        matches the checksum recorded with them.
+
+        A mismatch means the checkpoint region itself was corrupted out
+        of band (bit flip, torn write) — the version's data must not be
+        trusted by reversion.  Versions recorded without a checksum
+        (``crc == -1``, e.g. seed-era logs) are skipped.
+        """
+        bad: List[Tuple[int, int]] = []
+        for entry in self.entries.values():
+            for v in entry.versions:
+                if v.crc >= 0 and version_crc(
+                    entry.address, v.seq, v.data, v.size, v.tx_id
+                ) != v.crc:
+                    bad.append((entry.address, v.seq))
+        return bad
+
+    def quarantine_corrupt(self) -> List[Tuple[int, Version]]:
+        """Remove checksum-failing versions from the ring (and record
+        them in :attr:`quarantined`) instead of letting reversion
+        deserialize garbage.
+
+        ``total_versions`` is left untouched, so the entry reports
+        ``history_evicted`` and the reverter applies its evicted-history
+        floor rather than trusting a hole in the ring.  Returns the
+        versions quarantined by this call.
+        """
+        bad = set(self.verify_checksums())
+        if not bad:
+            return []
+        newly: List[Tuple[int, Version]] = []
+        for addr, entry in self.entries.items():
+            kept = []
+            for v in entry.versions:
+                if (addr, v.seq) in bad:
+                    newly.append((addr, v))
+                else:
+                    kept.append(v)
+            entry.versions = kept
+        self.quarantined.extend(newly)
+        self.rebuild_indexes(validate=False)
+        return newly

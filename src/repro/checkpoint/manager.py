@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import faultinject
 from repro.checkpoint.log import MAX_VERSIONS, CheckpointLog
 from repro.pmem.allocator import PMAllocator
 from repro.pmem.pool import PMPool
@@ -71,24 +72,54 @@ class CheckpointManager:
     def _on_persist(self, addr: int, nwords: int, values: List[int], tag: str) -> None:
         if not self.enabled:
             return
+        # crash here = the process died after the range became durable
+        # but before the checkpoint hook recorded it (log behind pool)
+        spec = faultinject.fire("ckpt.record_update")
         tx_id = self.txman.current_tx_id if tag == "tx-commit" else 0
-        self.log.record_update(addr, nwords, values, tx_id=tx_id)
+        seq = self.log.record_update(addr, nwords, values, tx_id=tx_id)
         self.updates_recorded += 1
+        if spec is not None and spec.kind == "bitflip":
+            self._flip_recorded_bit(addr, seq, spec.seed)
+
+    def _flip_recorded_bit(self, addr: int, seq: int, seed: int) -> None:
+        """Corrupt one bit of the just-recorded version's data in place.
+
+        Models media corruption of the checkpoint region.  The version's
+        checksum was computed over the original data, so the flip is
+        detectable by ``CheckpointLog.verify_checksums`` — which is the
+        property the injection sweep asserts.
+        """
+        import random
+
+        entry = self.log.entries.get(addr)
+        version = entry.version_with_seq(seq) if entry is not None else None
+        if version is None or not version.data:  # pragma: no cover - defensive
+            return
+        rng = random.Random((seed << 16) ^ seq)
+        i = rng.randrange(len(version.data))
+        bit = 1 << rng.randrange(32)
+        data = list(version.data)
+        data[i] ^= bit
+        version.data = tuple(data)
 
     def _on_tx_begin(self, tx_id: int) -> None:
         if self.enabled:
+            faultinject.fire("ckpt.record_tx_begin")
             self.log.record_tx_begin(tx_id)
 
     def _on_tx_commit(self, tx_id: int, ranges: List[Tuple[int, int]]) -> None:
         if self.enabled:
+            faultinject.fire("ckpt.record_tx_commit")
             self.log.record_tx_commit(tx_id)
 
     def _on_alloc(self, addr: int, nwords: int) -> None:
         if self.enabled:
+            faultinject.fire("ckpt.record_alloc")
             self.log.record_alloc(addr, nwords)
 
     def _on_free(self, addr: int, nwords: int) -> None:
         if self.enabled:
+            faultinject.fire("ckpt.record_free")
             self.log.record_free(addr, nwords)
 
     def _on_realloc(self, old_addr: int, new_addr: int, nwords: int) -> None:

@@ -11,6 +11,9 @@ Subcommands:
   with a JSON report written under ``results/``.
 * ``analyze`` — static-analysis statistics for one target system.
 * ``bench-hotpaths`` — indexed-vs-linear-scan hot-path benchmark.
+* ``inject-sweep`` — crash/torn/bitflip injection at every enumerable
+  site of the recovery pipeline; exits non-zero unless every cell ends
+  verified-consistent.
 """
 
 from __future__ import annotations
@@ -206,6 +209,41 @@ def _cmd_bench_hotpaths(args) -> int:
     return 0
 
 
+def _cmd_inject_sweep(args) -> int:
+    import json
+    import os
+
+    from repro.faultinject import KINDS
+    from repro.harness.inject_sweep import run_sweep
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    for k in kinds:
+        if k not in KINDS:
+            print(f"unknown fault kind {k!r}; pick from {','.join(KINDS)}",
+                  file=sys.stderr)
+            return 2
+    fids = [f.strip() for f in args.faults.split(",") if f.strip()]
+    max_per_site = 1 if args.quick else args.max_per_site
+
+    def progress(cell) -> None:
+        status = "ok  " if cell.verified else "FAIL"
+        print(f"  {status} {cell.label} (retries={cell.crash_retries}, "
+              f"by={cell.recovered_by})", file=sys.stderr)
+
+    report = run_sweep(
+        fids=fids, solution=args.solution, kinds=kinds, seed=args.seed,
+        max_per_site=max_per_site, progress=progress,
+    )
+    print(report.summary())
+    if args.out != "-":
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.all_verified else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -262,6 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--seed", type=int, default=0)
     bench_p.add_argument("--out", default="results/BENCH_hotpaths.json",
                          help="report path ('-' to skip writing)")
+
+    sweep_p = sub.add_parser(
+        "inject-sweep",
+        help="inject a fault at every enumerable recovery-pipeline site "
+             "and demand verified-consistent pools",
+    )
+    sweep_p.add_argument("--faults", default="f9,f12",
+                         help="comma-separated fault ids to sweep")
+    sweep_p.add_argument("--solution", default="arthas-rb", choices=SOLUTIONS)
+    sweep_p.add_argument("--kinds", default="crash,torn,bitflip",
+                         help="comma-separated fault kinds to inject")
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument("--max-per-site", type=int, default=3,
+                         help="occurrences sampled per site family "
+                              "(first/last always included)")
+    sweep_p.add_argument("--quick", action="store_true",
+                         help="one occurrence per site (CI smoke mode)")
+    sweep_p.add_argument("--out", default="results/inject_sweep.json",
+                         help="JSON report path ('-' to skip writing)")
     return parser
 
 
@@ -276,6 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "matrix-all": _cmd_matrix_all,
         "analyze": _cmd_analyze,
         "bench-hotpaths": _cmd_bench_hotpaths,
+        "inject-sweep": _cmd_inject_sweep,
     }
     return handlers[args.command](args)
 

@@ -47,6 +47,17 @@ class CheckpointError(ReproError):
     """Checkpoint log misuse or corruption."""
 
 
+class CorruptLogError(CheckpointError):
+    """A checkpoint log failed structural validation.
+
+    Raised instead of silently accepting out-of-order sequence numbers,
+    dangling realloc links, checksum mismatches, or a torn/garbled
+    serialized log.  Recovery code that can *repair* (truncate a torn
+    tail, quarantine bad entries) catches this and falls back to
+    :func:`repro.instrument.artifacts.open_and_verify`.
+    """
+
+
 class ReactorError(ReproError):
     """The reactor could not construct or execute a reversion plan."""
 

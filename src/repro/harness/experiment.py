@@ -17,20 +17,24 @@ Solutions:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro import faultinject
 from repro.baselines.arckpt import ArCkpt
 from repro.baselines.pmcriu import PmCRIU
 from repro.detector.monitor import Detector, LeakMonitor, RunOutcome
 from repro.detector.signature import FailureSignature
-from repro.errors import Trap
+from repro.errors import InjectedCrash, Trap
 from repro.faults.registry import FaultScenario, scenario_by_id
 from repro.harness.simclock import OP_PERIOD, ReexecDelay, SimClock
+from repro.harness.supervisor import StepResult, ladder_run, pool_digest
 from repro.lang.interp import FaultInfo
+from repro.pmem.poolcheck import check_pool
 from repro.reactor.leakfix import find_leaked_objects, mitigate_leak
 from repro.reactor.plan import Candidate, distance_policy
-from repro.reactor.revert import MitigationResult, Reverter
+from repro.reactor.revert import IntentJournal, MitigationResult, Reverter
 from repro.reactor.server import ReactorServer
 from repro.workloads.generators import MixedWorkload
 
@@ -97,6 +101,9 @@ class MitigationRun:
     leaked_blocks: int = 0
     timed_out: bool = False
     notes: str = ""
+    #: supervised-mode only: the degradation-ladder account (rungs,
+    #: crash retries, post-recovery verification); None for legacy runs
+    ladder: Optional[dict] = None
 
     @property
     def discarded_pct(self) -> float:
@@ -138,8 +145,21 @@ def run_experiment(
     with_checksum: bool = False,
     consistency_probe: bool = True,
     detect_only: bool = False,
+    supervised: bool = False,
+    inject_plan: Optional[faultinject.InjectionPlan] = None,
+    max_crash_retries: int = 6,
 ) -> ExperimentResult:
-    """Run one (fault, solution) experiment end to end."""
+    """Run one (fault, solution) experiment end to end.
+
+    ``supervised=True`` replaces the bare mitigation call with the
+    crash-safe supervisor: periodic snapshots are taken during the run
+    (so the ladder always has a last-resort rung), mitigation runs under
+    crash-retry-with-backoff, degrades purge → rollback → snapshot
+    restore, and the result carries a ladder report with post-recovery
+    verification (poolcheck, checksum scan, pool digest).  An
+    ``inject_plan`` is armed *only* around the mitigation phase — the
+    sweep probes recovery's own crash-safety, not the workload's.
+    """
     if solution not in SOLUTIONS:
         raise ValueError(f"unknown solution {solution!r}; pick from {SOLUTIONS}")
     scenario = scenario_by_id(fid)
@@ -170,7 +190,9 @@ def run_experiment(
         detector.set_leak_monitor(monitor)
 
     pmcriu: Optional[PmCRIU] = None
-    if solution == "pmcriu":
+    if solution == "pmcriu" or supervised:
+        # supervised runs snapshot regardless of solution: the ladder's
+        # last rung restores the newest consistent whole-pool image
         pmcriu = PmCRIU(adapter.pool, adapter.allocator, SNAPSHOT_INTERVAL)
 
     # ------------------------------------------------------------------
@@ -261,25 +283,39 @@ def run_experiment(
     delay = ReexecDelay(seed=seed * 13 + 5)
     reexec = _make_reexec(ctx, scenario, detector, monitor)
 
-    if solution in ("arthas", "arthas-rb"):
-        run = _mitigate_arthas(
-            ctx, scenario, outcome, reexec, mclock, delay,
-            rollback=(solution == "arthas-rb"), batch_size=batch_size,
-        )
-    elif solution == "pmcriu":
-        assert pmcriu is not None
-        mres = pmcriu.mitigate(
-            reexec, clock=mclock, reexec_delay=delay,
-            timeout_seconds=MITIGATION_TIMEOUT,
-        )
-        run = _to_run(solution, mres, adapter)
-    else:  # arckpt
-        arckpt = ArCkpt(adapter.ckpt.log, adapter.pool, adapter.allocator)
-        mres = arckpt.mitigate(
-            reexec, clock=mclock, reexec_delay=delay,
-            timeout_seconds=MITIGATION_TIMEOUT,
-        )
-        run = _to_run(solution, mres, adapter)
+    # the injection plan is armed around mitigation only: the probe and
+    # verification phases below must observe recovery's real outcome
+    inject_cm = (
+        faultinject.activate(inject_plan)
+        if inject_plan is not None else nullcontext()
+    )
+    with inject_cm:
+        if supervised:
+            run = _mitigate_supervised(
+                ctx, scenario, outcome, reexec, mclock, delay,
+                solution=solution, batch_size=batch_size,
+                snapshotter=pmcriu, inject_plan=inject_plan,
+                max_crash_retries=max_crash_retries,
+            )
+        elif solution in ("arthas", "arthas-rb"):
+            run = _mitigate_arthas(
+                ctx, scenario, outcome, reexec, mclock, delay,
+                rollback=(solution == "arthas-rb"), batch_size=batch_size,
+            )
+        elif solution == "pmcriu":
+            assert pmcriu is not None
+            mres = pmcriu.mitigate(
+                reexec, clock=mclock, reexec_delay=delay,
+                timeout_seconds=MITIGATION_TIMEOUT,
+            )
+            run = _to_run(solution, mres, adapter)
+        else:  # arckpt
+            arckpt = ArCkpt(adapter.ckpt.log, adapter.pool, adapter.allocator)
+            mres = arckpt.mitigate(
+                reexec, clock=mclock, reexec_delay=delay,
+                timeout_seconds=MITIGATION_TIMEOUT,
+            )
+            run = _to_run(solution, mres, adapter)
 
     run.items_before = items_before
     run.items_after = _safe_count(adapter)
@@ -330,24 +366,18 @@ def _make_reexec(ctx, scenario, detector, monitor) -> Callable[[], RunOutcome]:
     return reexec
 
 
-def _mitigate_arthas(
-    ctx,
-    scenario,
-    outcome: RunOutcome,
-    reexec,
-    mclock: SimClock,
-    delay,
-    rollback: bool,
-    batch_size: int,
-) -> MitigationRun:
+def _make_rounds_runner(ctx, reexec, mclock: SimClock, delay, batch_size: int):
+    """Build the detector/reactor rounds driver shared by the legacy and
+    supervised mitigation paths.
+
+    The returned ``rounds(run, seen_faults, start_iid, use_rollback,
+    max_attempts, intents=None)`` may run several rounds: mitigating one
+    bad state can expose a different failure (e.g. restoring wrongly
+    deleted items exposes the bad flush timestamp that deleted them),
+    which the detector reports and the reactor re-slices from.
+    """
     adapter = ctx.adapter
-    solution = "arthas-rb" if rollback else "arthas"
     log = adapter.ckpt.log
-
-    if scenario.kind == "leak":
-        return _mitigate_leak_arthas(ctx, scenario, reexec, mclock, delay, solution)
-
-    assert outcome.fault is not None, "trap/dataloss faults carry a fault instr"
     server = ReactorServer(adapter.module, analysis=adapter.analysis)
 
     def forward_seqs(cand: Candidate) -> Set[int]:
@@ -364,17 +394,14 @@ def _mitigate_arthas(
                 seqs.update(log.update_seqs_for_address(addr))
         return seqs
 
-    # The detector/reactor cycle may run several rounds: mitigating one
-    # bad state can expose a different failure (e.g. restoring wrongly
-    # deleted items exposes the bad flush timestamp that deleted them),
-    # which the detector reports and the reactor re-slices from.
-    run = MitigationRun(solution=solution, recovered=False)
-    seen_faults = {outcome.fault.iid}
-    #: per-mode attempt budget; exhausting it in purge mode triggers the
-    #: paper's fallback to conservative rollback (Section 4.5)
-    purge_max_attempts = 60
-
-    def _rounds(start_iid: int, use_rollback: bool, max_attempts: int) -> None:
+    def rounds(
+        run: MitigationRun,
+        seen_faults: Set[int],
+        start_iid: int,
+        use_rollback: bool,
+        max_attempts: int,
+        intents: Optional[IntentJournal] = None,
+    ) -> None:
         fault_iid = start_iid
         first_round = run.attempts == 0
         for _round in range(4):
@@ -397,6 +424,7 @@ def _mitigate_arthas(
                 max_attempts=max(1, max_attempts - run.attempts),
                 known_faults=seen_faults,
                 enable_divergence_repair=first_round and _round == 0,
+                intents=intents,
             )
             if use_rollback:
                 mres = reverter.mitigate_rollback(plan)
@@ -421,13 +449,206 @@ def _mitigate_arthas(
             fault_iid = last.fault.iid
             seen_faults.add(fault_iid)
 
-    _rounds(outcome.fault.iid, rollback, purge_max_attempts if not rollback else 200)
+    return rounds
+
+
+def _mitigate_arthas(
+    ctx,
+    scenario,
+    outcome: RunOutcome,
+    reexec,
+    mclock: SimClock,
+    delay,
+    rollback: bool,
+    batch_size: int,
+) -> MitigationRun:
+    adapter = ctx.adapter
+    solution = "arthas-rb" if rollback else "arthas"
+    log = adapter.ckpt.log
+
+    if scenario.kind == "leak":
+        return _mitigate_leak_arthas(ctx, scenario, reexec, mclock, delay, solution)
+
+    assert outcome.fault is not None, "trap/dataloss faults carry a fault instr"
+    run = MitigationRun(solution=solution, recovered=False)
+    seen_faults = {outcome.fault.iid}
+    #: per-mode attempt budget; exhausting it in purge mode triggers the
+    #: paper's fallback to conservative rollback (Section 4.5)
+    purge_max_attempts = 60
+    rounds = _make_rounds_runner(ctx, reexec, mclock, delay, batch_size)
+
+    rounds(run, seen_faults, outcome.fault.iid, rollback,
+           purge_max_attempts if not rollback else 200)
     if not run.recovered and not rollback and mclock.now < MITIGATION_TIMEOUT:
         # paper Section 4.5: purge exhausted its tries; switch to rollback
         run.notes = (run.notes + "; " if run.notes else "") + "fell back to rollback"
-        _rounds(outcome.fault.iid, True, 200)
+        rounds(run, seen_faults, outcome.fault.iid, True, 200)
     run.duration_seconds = mclock.now
     run.total_updates = log.total_updates
+    return run
+
+
+def _mitigate_supervised(
+    ctx,
+    scenario,
+    outcome: RunOutcome,
+    reexec,
+    mclock: SimClock,
+    delay,
+    solution: str,
+    batch_size: int,
+    snapshotter: Optional[PmCRIU],
+    inject_plan: Optional[faultinject.InjectionPlan],
+    max_crash_retries: int,
+) -> MitigationRun:
+    """Crash-safe mitigation: retry with backoff, degrade down the ladder.
+
+    Rungs, by solution (each wrapped in crash-retries, each idempotent):
+
+    * ``arthas``     — purge → rollback (intent-journaled) → snapshot
+    * ``arthas-rb``  — rollback (intent-journaled) → snapshot
+    * leak faults    — leak-fix → snapshot
+    * ``arckpt``     — arckpt reversion → snapshot
+    * ``pmcriu``     — snapshot only
+
+    An injected crash *inside a re-execution* surfaces as a guest fault
+    of kind ``injected-crash``; the strict reexec wrapper re-raises it so
+    the supervisor treats it as the process death it models.  Finishes
+    with verification — poolcheck, a checkpoint-checksum scan (corrupt
+    versions are quarantined, never deserialized into reversion plans),
+    and a durable-state digest — and, when every rung fails, a
+    structured unrecoverable report instead of an exception.
+    """
+    adapter = ctx.adapter
+    log = adapter.ckpt.log if adapter.ckpt is not None else None
+    run = MitigationRun(solution=solution, recovered=False)
+    intents = IntentJournal()
+    quarantined_total = 0
+
+    def strict_reexec() -> RunOutcome:
+        out = reexec()
+        if out.fault is not None and \
+                getattr(out.fault, "kind", "") == "injected-crash":
+            raise InjectedCrash(
+                getattr(out.fault, "message", "") or "crash during re-execution",
+                location="reexec",
+            )
+        return out
+
+    def scan_log() -> int:
+        """Detect + quarantine media-corrupted checkpoint versions."""
+        nonlocal quarantined_total
+        if log is None:
+            return 0
+        bad = log.verify_checksums()
+        if bad:
+            log.quarantine_corrupt()
+        quarantined_total += len(bad)
+        return len(bad)
+
+    scan_log()  # never let a corrupt version seed a reversion plan
+
+    rungs: List = []
+    if solution in ("arthas", "arthas-rb") and scenario.kind != "leak" \
+            and outcome.fault is not None:
+        rounds = _make_rounds_runner(ctx, strict_reexec, mclock, delay, batch_size)
+        seen_faults = {outcome.fault.iid}
+
+        def arthas_step(use_rollback: bool, budget: int, with_intents: bool):
+            def step() -> StepResult:
+                scan_log()
+                before = run.attempts
+                run.recovered = False
+                rounds(
+                    run, seen_faults, outcome.fault.iid, use_rollback,
+                    before + budget,
+                    intents=intents if with_intents else None,
+                )
+                return StepResult(
+                    recovered=run.recovered, attempts=run.attempts - before,
+                    timed_out=run.timed_out, notes=run.notes,
+                )
+            return step
+
+        if solution == "arthas":
+            rungs.append(("purge", arthas_step(False, 60, False)))
+        rungs.append(("rollback", arthas_step(True, 200, True)))
+    elif solution in ("arthas", "arthas-rb") and scenario.kind == "leak":
+        def leak_step() -> StepResult:
+            sub = _mitigate_leak_arthas(
+                ctx, scenario, strict_reexec, mclock, delay, solution
+            )
+            run.attempts += sub.attempts
+            run.leaked_blocks = sub.leaked_blocks
+            run.notes = sub.notes
+            return StepResult(recovered=sub.recovered, attempts=sub.attempts,
+                              notes=sub.notes)
+        rungs.append(("leak-fix", leak_step))
+    elif solution == "arckpt" and log is not None:
+        def arckpt_step() -> StepResult:
+            scan_log()
+            mres = ArCkpt(log, adapter.pool, adapter.allocator).mitigate(
+                strict_reexec, clock=mclock, reexec_delay=delay,
+                timeout_seconds=MITIGATION_TIMEOUT,
+            )
+            run.attempts += mres.attempts
+            run.reverted_updates += mres.discarded_updates
+            run.notes = mres.notes
+            return StepResult(recovered=mres.recovered, attempts=mres.attempts,
+                              timed_out=mres.timed_out, notes=mres.notes)
+        rungs.append(("arckpt", arckpt_step))
+
+    if snapshotter is not None:
+        def snapshot_step() -> StepResult:
+            mres = snapshotter.mitigate(
+                strict_reexec, clock=mclock, reexec_delay=delay,
+                timeout_seconds=MITIGATION_TIMEOUT,
+            )
+            run.attempts += mres.attempts
+            note = mres.notes or "restored from periodic snapshot"
+            run.notes = (run.notes + "; " if run.notes else "") + note
+            return StepResult(recovered=mres.recovered, attempts=mres.attempts,
+                              timed_out=mres.timed_out, notes=note)
+        rungs.append(("snapshot", snapshot_step))
+
+    report = ladder_run(
+        rungs, adapter.pool, mclock, max_crash_retries=max_crash_retries
+    )
+    run.recovered = report.recovered
+    run.timed_out = any(r.timed_out for r in report.rungs)
+    run.duration_seconds = mclock.now
+    if log is not None:
+        run.total_updates = log.total_updates
+
+    # ------------------------------------------------------------------
+    # verification: is the pool provably consistent after recovery?
+    # ------------------------------------------------------------------
+    scan_log()
+    pc = check_pool(adapter.pool, adapter.allocator)
+    verification: Dict[str, object] = {
+        "pool_ok": pc.ok,
+        "pool_summary": pc.summary(),
+        "checksum_quarantined": quarantined_total,
+        "pool_digest": pool_digest(adapter.pool, adapter.allocator),
+        "intent_cuts_done": intents.done_cuts(),
+    }
+    if inject_plan is not None and not inject_plan.record:
+        verification["injected"] = [s.label() for s in inject_plan.fired]
+        verification["all_injections_fired"] = inject_plan.all_fired
+    ladder = report.to_json()
+    ladder["verification"] = verification
+    if not report.recovered:
+        ladder["unrecoverable"] = {
+            "fid": getattr(scenario, "fid", "?"),
+            "solution": solution,
+            "seed": ctx.seed,
+            "reason": "all ladder rungs exhausted without recovery",
+            "rungs_tried": [r.rung for r in report.rungs],
+            "crash_retries": report.crash_retries,
+            "poolcheck": pc.summary(),
+            "checksum_quarantined": quarantined_total,
+        }
+    run.ladder = ladder
     return run
 
 

@@ -596,6 +596,38 @@ def bench_matrix_sweep(
 
 
 # ----------------------------------------------------------------------
+# injection-sweep benchmark
+# ----------------------------------------------------------------------
+def bench_inject_sweep(
+    fids: Optional[List[str]] = None,
+    solution: str = "arthas-rb",
+    seed: int = 0,
+    max_per_site: int = 1,
+) -> Dict[str, object]:
+    """Robustness trajectory: the fault-injection sweep's headline row.
+
+    Runs :func:`repro.harness.inject_sweep.run_sweep` (one occurrence
+    per (site family, fault kind) by default — the CI ``--quick`` shape)
+    and reports the sites enumerated, the recovery success rate and the
+    mean simulated recovery time.  The bench *requires* 100%
+    verification: a regression here is a correctness bug, not a
+    slowdown, so it aborts the report rather than record a bad rate.
+    """
+    from repro.harness.inject_sweep import DEFAULT_FAULTS, run_sweep
+
+    report = run_sweep(
+        fids=list(fids) if fids is not None else list(DEFAULT_FAULTS),
+        solution=solution, seed=seed, max_per_site=max_per_site,
+    )
+    if not report.all_verified:
+        raise RuntimeError(
+            "inject-sweep bench left unverified cells: "
+            + ", ".join(c.label for c in report.failures()[:8])
+        )
+    return report.to_json()
+
+
+# ----------------------------------------------------------------------
 # VM throughput benchmark
 # ----------------------------------------------------------------------
 _VM_SRC = '''
@@ -709,6 +741,15 @@ def render_summary(report: Dict[str, object]) -> str:
             f"{mx['parallel_seconds']:.1f}s  ({mx['speedup']:.2f}x on "
             f"{mx['cpu_count']} CPU(s), summaries identical)"
         )
+    isw = report.get("inject_sweep")
+    if isw is not None:
+        lines.append(
+            f"  inject:    {isw['verified_consistent']}/{isw['cells']} "
+            f"cells verified-consistent "
+            f"({isw['recovery_success_rate_pct']:.0f}%), mean recovery "
+            f"{isw['mean_recovery_seconds']:.2f} sim-s, "
+            f"{isw['wall_seconds']:.1f}s wall"
+        )
     lines.append(
         f"  plan+mitigation speedup: "
         f"{s['plan_plus_mitigation_speedup']:.1f}x "
@@ -736,8 +777,23 @@ def run_and_write(
 
 
 def write_report(report: Dict[str, object], out_path: str) -> None:
-    """Persist one report dict as pretty-printed JSON."""
+    """Persist one report dict as pretty-printed JSON.
+
+    Top-level sections already on disk but absent from ``report`` (say,
+    a ``matrix`` timing from a previous full run when only the micro
+    benches were re-run) are carried over rather than clobbered, so the
+    file stays a superset of every section ever benchmarked.
+    """
+    merged = dict(report)
+    try:
+        with open(out_path) as f:
+            existing = json.load(f)
+    except (OSError, ValueError):
+        existing = {}
+    if isinstance(existing, dict):
+        for key, value in existing.items():
+            merged.setdefault(key, value)
     os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
     with open(out_path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
+        json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")

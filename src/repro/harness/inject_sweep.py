@@ -1,0 +1,285 @@
+"""Exhaustive fault-injection sweep over the recovery pipeline.
+
+The robustness claim worth having is not "mitigation usually works" but
+"mitigation survives its *own* crashes at every step".  This module
+proves it by enumeration:
+
+1. **discover** — run one supervised experiment with a record-mode
+   :class:`~repro.faultinject.InjectionPlan`; every injection site that
+   fires during mitigation is counted (sites are named: persist/flush
+   boundaries, checkpoint ``record_*`` hooks, reversion cut/commit
+   points);
+2. **enumerate** — expand the counts into cells via
+   :func:`~repro.faultinject.enumerate_cells`: one cell per (site,
+   sampled occurrence, applicable fault kind);
+3. **sweep** — re-run the experiment once per cell with exactly that
+   fault injected, under the crash-retry supervisor, and demand the cell
+   ends **verified-consistent**: mitigation recovered, poolcheck passes,
+   the checkpoint-checksum scan quarantined anything corrupt, and the
+   post-recovery consistency probe finds no violations.
+
+``python -m repro inject-sweep`` drives this and exits non-zero unless
+every cell verifies — the CI contract for the recovery pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faultinject import KINDS, InjectionPlan, InjectionSpec, enumerate_cells
+from repro.harness.experiment import ExperimentResult, run_experiment
+
+#: per-fault (pre_ops, post_ops) overrides keeping sweep cells tractable;
+#: faults not listed run their scenario's default operation counts
+DEFAULT_OPS: Dict[str, Tuple[int, int]] = {"f9": (80, 40)}
+
+#: the sweep's default subjects: a hard trap fault (CCEH directory
+#: doubling) and a leak fault — together they exercise the rollback,
+#: leak-fix and snapshot rungs plus every pmem/ckpt site family
+DEFAULT_FAULTS = ("f9", "f12")
+
+DEFAULT_SOLUTION = "arthas-rb"
+
+
+@dataclass
+class SweepCell:
+    """One (fault, site, occurrence, kind) injection outcome."""
+
+    fid: str
+    solution: str
+    site: str
+    occurrence: int
+    kind: str
+    fired: bool = False
+    recovered: bool = False
+    consistent: Optional[bool] = None
+    pool_ok: bool = False
+    checksum_quarantined: int = 0
+    crash_retries: int = 0
+    recovered_by: Optional[str] = None
+    #: simulated seconds the supervised mitigation took
+    recovery_seconds: float = 0.0
+    pool_digest: int = 0
+    notes: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.fid}:{self.site}#{self.occurrence}:{self.kind}"
+
+    @property
+    def verified(self) -> bool:
+        """Did the cell end in a provably consistent state?
+
+        The injected fault must actually have fired (else the cell
+        tested nothing), mitigation must have recovered, poolcheck must
+        pass, and the consistency probe must not have found violations.
+        """
+        return (
+            self.fired
+            and self.recovered
+            and self.pool_ok
+            and self.consistent is not False
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "fired": self.fired,
+            "recovered": self.recovered,
+            "recovered_by": self.recovered_by,
+            "consistent": self.consistent,
+            "pool_ok": self.pool_ok,
+            "verified": self.verified,
+            "checksum_quarantined": self.checksum_quarantined,
+            "crash_retries": self.crash_retries,
+            "recovery_seconds": round(self.recovery_seconds, 3),
+            "pool_digest": self.pool_digest,
+            "notes": self.notes,
+        }
+
+
+@dataclass
+class SweepReport:
+    """The full sweep: per-cell outcomes plus the headline numbers."""
+
+    solution: str
+    seed: int
+    kinds: List[str]
+    max_per_site: int
+    #: fid -> {site: dynamic firing count} from the discovery runs
+    sites: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    cells: List[SweepCell] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_verified(self) -> int:
+        return sum(1 for c in self.cells if c.verified)
+
+    @property
+    def success_rate(self) -> float:
+        return 100.0 * self.n_verified / self.n_cells if self.cells else 0.0
+
+    @property
+    def mean_recovery_seconds(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.recovery_seconds for c in self.cells) / len(self.cells)
+
+    @property
+    def all_verified(self) -> bool:
+        return bool(self.cells) and self.n_verified == self.n_cells
+
+    def failures(self) -> List[SweepCell]:
+        return [c for c in self.cells if not c.verified]
+
+    def to_json(self) -> dict:
+        return {
+            "solution": self.solution,
+            "seed": self.seed,
+            "kinds": list(self.kinds),
+            "max_per_site": self.max_per_site,
+            "sites_enumerated": {
+                fid: dict(sorted(counts.items()))
+                for fid, counts in sorted(self.sites.items())
+            },
+            "cells": self.n_cells,
+            "verified_consistent": self.n_verified,
+            "recovery_success_rate_pct": round(self.success_rate, 2),
+            "mean_recovery_seconds": round(self.mean_recovery_seconds, 3),
+            "wall_seconds": round(self.wall_seconds, 2),
+            "failures": [c.to_json() for c in self.failures()],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"inject-sweep: {self.n_verified}/{self.n_cells} cells "
+            f"verified-consistent ({self.success_rate:.1f}%), "
+            f"mean recovery {self.mean_recovery_seconds:.1f} sim-s, "
+            f"{self.wall_seconds:.1f}s wall"
+        ]
+        for fid, counts in sorted(self.sites.items()):
+            lines.append(
+                f"  {fid}: {len(counts)} site families, "
+                f"{sum(counts.values())} dynamic firings"
+            )
+        for cell in self.failures():
+            lines.append(f"  FAIL {cell.label}: {cell.notes or 'unverified'}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _ops_for(fid: str, pre_ops: Optional[int], post_ops: Optional[int]):
+    if pre_ops is not None or post_ops is not None:
+        return pre_ops, post_ops
+    return DEFAULT_OPS.get(fid, (None, None))
+
+
+def discover_sites(
+    fid: str,
+    solution: str = DEFAULT_SOLUTION,
+    seed: int = 0,
+    pre_ops: Optional[int] = None,
+    post_ops: Optional[int] = None,
+) -> Tuple[Dict[str, int], ExperimentResult]:
+    """Count every injection site the mitigation of ``fid`` reaches."""
+    n_pre, n_post = _ops_for(fid, pre_ops, post_ops)
+    plan = InjectionPlan(record=True)
+    result = run_experiment(
+        fid, solution, seed=seed, pre_ops=n_pre, post_ops=n_post,
+        supervised=True, inject_plan=plan,
+    )
+    if not result.manifested or result.mitigation is None:
+        raise RuntimeError(
+            f"{fid}: fault did not manifest under seed {seed}; "
+            f"nothing to sweep"
+        )
+    if not result.mitigation.recovered:
+        raise RuntimeError(
+            f"{fid}: baseline supervised mitigation did not recover; "
+            f"fix that before sweeping injections"
+        )
+    return dict(plan.counts), result
+
+
+def run_cell(
+    fid: str,
+    spec: InjectionSpec,
+    solution: str = DEFAULT_SOLUTION,
+    seed: int = 0,
+    pre_ops: Optional[int] = None,
+    post_ops: Optional[int] = None,
+    max_crash_retries: int = 6,
+) -> SweepCell:
+    """Run one experiment with exactly ``spec`` injected."""
+    n_pre, n_post = _ops_for(fid, pre_ops, post_ops)
+    plan = InjectionPlan([spec])
+    cell = SweepCell(
+        fid=fid, solution=solution,
+        site=spec.site, occurrence=spec.occurrence, kind=spec.kind,
+    )
+    result = run_experiment(
+        fid, solution, seed=seed, pre_ops=n_pre, post_ops=n_post,
+        supervised=True, inject_plan=plan,
+        max_crash_retries=max_crash_retries,
+    )
+    run = result.mitigation
+    if run is None:
+        cell.notes = "experiment produced no mitigation"
+        return cell
+    cell.fired = bool(plan.fired)
+    cell.recovered = run.recovered
+    cell.consistent = run.consistent
+    cell.recovery_seconds = run.duration_seconds
+    if run.ladder is not None:
+        v = run.ladder.get("verification", {})
+        cell.pool_ok = bool(v.get("pool_ok"))
+        cell.checksum_quarantined = int(v.get("checksum_quarantined", 0))
+        cell.pool_digest = int(v.get("pool_digest", 0))
+        cell.crash_retries = int(run.ladder.get("crash_retries", 0))
+        cell.recovered_by = run.ladder.get("recovered_by")
+        if "unrecoverable" in run.ladder:
+            cell.notes = str(run.ladder["unrecoverable"]["reason"])
+    if not cell.fired:
+        cell.notes = "injection site never reached"
+    return cell
+
+
+def run_sweep(
+    fids: Sequence[str] = DEFAULT_FAULTS,
+    solution: str = DEFAULT_SOLUTION,
+    kinds: Sequence[str] = KINDS,
+    seed: int = 0,
+    max_per_site: int = 3,
+    pre_ops: Optional[int] = None,
+    post_ops: Optional[int] = None,
+    progress: Optional[Callable[[SweepCell], None]] = None,
+) -> SweepReport:
+    """Discover sites for each fault, then run every enumerated cell."""
+    report = SweepReport(
+        solution=solution, seed=seed, kinds=list(kinds),
+        max_per_site=max_per_site,
+    )
+    t0 = time.time()
+    for fid in fids:
+        counts, _baseline = discover_sites(
+            fid, solution, seed=seed, pre_ops=pre_ops, post_ops=post_ops
+        )
+        report.sites[fid] = counts
+        for spec in enumerate_cells(
+            counts, kinds=kinds, max_per_site=max_per_site, seed=seed
+        ):
+            cell = run_cell(
+                fid, spec, solution=solution, seed=seed,
+                pre_ops=pre_ops, post_ops=post_ops,
+            )
+            report.cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    report.wall_seconds = time.time() - t0
+    return report

@@ -34,8 +34,8 @@ of ``benchmarks/bench_perf_hotpaths.py`` enforce exactly that.
 
 from __future__ import annotations
 
+import ctypes
 import os
-import signal
 import threading
 import time
 import traceback
@@ -196,6 +196,49 @@ class CellTimeout(BaseException):
     """
 
 
+class _CellWatchdog:
+    """Monitor-thread timeout: raise :class:`CellTimeout` in a target
+    thread after ``timeout`` seconds.
+
+    Replaces the old ``SIGALRM`` timer: signals only deliver to a
+    process's main thread (and not at all on some platforms), so the
+    alarm silently did nothing when a cell ran on a worker thread.  A
+    :class:`threading.Timer` plus ``PyThreadState_SetAsyncExc`` works on
+    any thread and any platform.  The async exception is delivered at
+    the target thread's next bytecode boundary — the same granularity
+    the signal handler had.
+
+    :meth:`cancel` and the timer callback race when the cell finishes at
+    the deadline; the lock-guarded ``_done`` flag makes that race safe,
+    and a late-delivered ``CellTimeout`` is still caught by the payload
+    wrapper's outer handler.
+    """
+
+    def __init__(self, timeout: float, thread_id: int):
+        self.timeout = timeout
+        self.thread_id = thread_id
+        self._lock = threading.Lock()
+        self._done = False
+        self._timer = threading.Timer(timeout, self._fire)
+        self._timer.daemon = True
+
+    def start(self) -> None:
+        self._timer.start()
+
+    def _fire(self) -> None:
+        with self._lock:
+            if self._done:
+                return
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(self.thread_id), ctypes.py_object(CellTimeout)
+            )
+
+    def cancel(self) -> None:
+        with self._lock:
+            self._done = True
+        self._timer.cancel()
+
+
 def _run_cell_payload(
     key: Tuple[str, str, int], timeout: Optional[float]
 ) -> Dict[str, object]:
@@ -204,39 +247,34 @@ def _run_cell_payload(
     Runs in the worker process (and, for ``jobs=1``, in the caller).  All
     expected failures are converted to data here so the future never
     carries an exception for an in-cell error — only worker *death*
-    surfaces at the pool level.  The per-cell timeout uses ``SIGALRM``
-    (pool workers execute tasks on their main thread); it is skipped off
-    the main thread, where signals cannot be delivered.
+    surfaces at the pool level.  The per-cell timeout is enforced by
+    :class:`_CellWatchdog`, which works on any thread of any platform.
     """
     fid, solution, seed = key
     start = time.perf_counter()
-    use_alarm = (
-        timeout is not None
-        and timeout > 0
-        and threading.current_thread() is threading.main_thread()
-        and hasattr(signal, "setitimer")
-    )
-    old_handler = None
-    if use_alarm:
-        def _on_alarm(_signum, _frame):
-            raise CellTimeout(f"cell exceeded {timeout:.3f}s")
-
-        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
+    watchdog: Optional[_CellWatchdog] = None
+    if timeout is not None and timeout > 0:
+        watchdog = _CellWatchdog(timeout, threading.get_ident())
+        watchdog.start()
     try:
-        result = run_experiment(fid, solution, seed=seed)
-        return {
-            "status": "ok",
-            "summary": summarize_result(result),
-            "seconds": time.perf_counter() - start,
-        }
-    except CellTimeout as exc:
+        try:
+            result = run_experiment(fid, solution, seed=seed)
+            payload: Dict[str, object] = {
+                "status": "ok",
+                "summary": summarize_result(result),
+                "seconds": time.perf_counter() - start,
+            }
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+        return payload
+    except CellTimeout:
         return {
             "status": "error",
             "error": {
                 "kind": "timeout",
-                "type": type(exc).__name__,
-                "message": str(exc),
+                "type": "CellTimeout",
+                "message": f"cell exceeded {timeout:.3f}s",
                 "traceback": "",
             },
             "seconds": time.perf_counter() - start,
@@ -252,10 +290,6 @@ def _run_cell_payload(
             },
             "seconds": time.perf_counter() - start,
         }
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0)
-            signal.signal(signal.SIGALRM, old_handler)
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+from repro import faultinject
 from repro.errors import PoolError
 from repro.pmem.pool import PMPool
 
@@ -40,21 +41,25 @@ def pmem_unmap(path: str) -> None:
 
 def pmem_persist(pool: PMPool, addr: int, nwords: int) -> None:
     """Flush a range and fence — the fundamental durability primitive."""
+    faultinject.fire("pmem.api.pmem_persist")
     pool.persist(addr, nwords)
 
 
 def pmem_flush(pool: PMPool, addr: int, nwords: int) -> None:
     """Stage a range for writeback without ordering it (``clwb``)."""
+    faultinject.fire("pmem.api.pmem_flush")
     pool.flush(addr, nwords)
 
 
 def pmem_drain(pool: PMPool) -> None:
     """Order previously flushed ranges (``sfence``)."""
+    faultinject.fire("pmem.api.pmem_drain")
     pool.fence()
 
 
 def pmem_memcpy_persist(pool: PMPool, dst: int, values: Iterable[int]) -> None:
     """Copy words into PM and persist them in one call."""
+    faultinject.fire("pmem.api.pmem_memcpy_persist")
     values = list(values)
     pool.write_range(dst, values)
     pool.persist(dst, len(values))

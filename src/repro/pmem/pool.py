@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Tuple
 
-from repro.errors import PoolError
+from repro import faultinject
+from repro.errors import InjectedCrash, PoolError
 
 #: First valid persistent word address.  Everything below is volatile space
 #: (or NULL); keeping the ranges disjoint lets analyses and the leak
@@ -141,6 +142,7 @@ class PMPool:
         if nwords == 0:
             return
         self._check(addr, nwords)
+        faultinject.fire("pmem.flush")
         self.stats["flushes"] += 1
         first = self.line_of(addr)
         last = self.line_of(addr + nwords - 1)
@@ -154,6 +156,9 @@ class PMPool:
         durability — a hook never observes a value that could still be
         lost in a crash.
         """
+        spec = faultinject.fire("pmem.fence")  # crash-before-persist site
+        if spec is not None and spec.kind == "torn":
+            self._torn_fence(spec)
         self.stats["fences"] += 1
         for line in self._staged_lines:
             base = line * WORDS_PER_LINE
@@ -168,6 +173,32 @@ class PMPool:
                 values = [self._durable.get(addr + i, 0) for i in range(nwords)]
                 for hook in self._persist_hooks:
                     hook(addr, nwords, values, tag)
+
+    def _torn_fence(self, spec) -> None:
+        """Persist only part of the staged lines, then die (torn write).
+
+        Models a crash landing mid-writeback: whole cache lines are the
+        durability unit, so a deterministic, seeded prefix of the staged
+        lines reaches PM and the rest is lost with the write buffer.
+        Persist hooks never fire — the process died before the fence
+        completed, so the checkpoint log is left *behind* the pool,
+        exactly the divergence recovery must tolerate.
+        """
+        import random
+
+        lines = sorted(self._staged_lines)
+        rng = random.Random((spec.seed << 16) ^ len(lines))
+        keep = rng.randrange(1, len(lines)) if len(lines) > 1 else 0
+        for line in lines[:keep]:
+            base = line * WORDS_PER_LINE
+            for addr in range(base, base + WORDS_PER_LINE):
+                if addr in self._cache:
+                    self._durable[addr] = self._cache.pop(addr)
+                    self.stats["persisted_words"] += 1
+        raise InjectedCrash(
+            f"torn fence: {keep} of {len(lines)} staged line(s) persisted",
+            location="pmem.fence",
+        )
 
     def persist(self, addr: int, nwords: int = 1, tag: str = "persist") -> None:
         """``pmem_persist`` equivalent: flush the range and fence."""

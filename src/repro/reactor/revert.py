@@ -19,9 +19,12 @@ the pool file offline), so they never re-enter the checkpoint hooks.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
+from repro import faultinject
 from repro.checkpoint.log import CheckpointLog
 from repro.detector.monitor import RunOutcome
 from repro.errors import AllocationError
@@ -31,6 +34,77 @@ from repro.reactor.plan import Candidate, ReversionPlan
 
 ReexecFn = Callable[[], RunOutcome]
 ForwardSeqsFn = Callable[[Candidate], Set[int]]
+
+
+class IntentJournal:
+    """Write-ahead intents for reversion cuts (crash-safe mitigation).
+
+    Before applying a cut the reverter records a *begin* intent; after
+    the cut is fully applied and its re-execution attempt resolved, a
+    *commit* record marks it done.  A crash anywhere in between leaves a
+    pending intent, and a re-run of the same mitigation:
+
+    * **re-applies** every done cut — ``rollback_to_before`` is a pure
+      function of ``(log, cut)``, so re-application is idempotent — but
+      skips its re-execution (the journal already knows it did not
+      recover, else mitigation would have ended);
+    * treats a pending cut as never applied and runs it normally.
+
+    This is what makes supervised mitigation converge to the same final
+    state as an uninterrupted run, no matter where it crashed.  With a
+    ``path`` the journal appends one JSON line per record (each line is
+    flushed before the cut proceeds, modelling a durable intent region);
+    without one it is in-memory, which is enough for the in-process
+    injection sweep where the journal object survives the "crash".
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        #: cut -> "pending" | "done"
+        self.status: Dict[int, str] = {}
+        #: cuts whose re-execution attempt resolved as not-recovered
+        self._recovered: Dict[int, bool] = {}
+        if path is not None and os.path.exists(path):
+            self._replay(path)
+
+    def _replay(self, path: str) -> None:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    break  # torn tail: the writer died mid-append
+                if rec.get("op") == "begin":
+                    self.status[rec["cut"]] = "pending"
+                elif rec.get("op") == "commit":
+                    self.status[rec["cut"]] = "done"
+                    self._recovered[rec["cut"]] = bool(rec.get("recovered"))
+
+    def _append(self, rec: dict) -> None:
+        if self.path is None:
+            return
+        with open(self.path, "a") as f:
+            f.write(json.dumps(rec) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def begin(self, cut: int, mode: str) -> None:
+        self.status[cut] = "pending"
+        self._append({"op": "begin", "cut": cut, "mode": mode})
+
+    def commit(self, cut: int, recovered: bool = False) -> None:
+        self.status[cut] = "done"
+        self._recovered[cut] = recovered
+        self._append({"op": "commit", "cut": cut, "recovered": recovered})
+
+    def is_done(self, cut: int) -> bool:
+        return self.status.get(cut) == "done"
+
+    def done_cuts(self) -> List[int]:
+        return sorted(c for c, s in self.status.items() if s == "done")
 
 
 class _NullClock:
@@ -84,6 +158,7 @@ class Reverter:
         forward_seqs_fn: Optional[ForwardSeqsFn] = None,
         known_faults: Optional[Set[int]] = None,
         enable_divergence_repair: bool = True,
+        intents: Optional[IntentJournal] = None,
     ):
         self.log = log
         self.pool = pool
@@ -104,6 +179,9 @@ class Reverter:
         #: applied — afterwards the durable state legitimately differs
         #: from the log's reconstruction
         self.enable_divergence_repair = enable_divergence_repair
+        #: write-ahead intent journal; when set, rollback cuts become
+        #: resumable after a crash (see :class:`IntentJournal`)
+        self.intents = intents
 
     def _is_new_fault(self, outcome: RunOutcome) -> bool:
         return (
@@ -402,6 +480,7 @@ class Reverter:
                 batch_cands, batch = list(batch), []
                 if not group:
                     continue
+                faultinject.fire("revert.cut")  # crash between purge groups
                 reverted_any = False
                 for s in sorted(group, reverse=True):
                     if self.revert_update_seq(s, steps_back, guard_dangling=True):
@@ -409,6 +488,7 @@ class Reverter:
                         reverted_any = True
                 if not reverted_any:
                     continue
+                faultinject.fire("revert.commit")
                 outcome = self._attempt(result, len(group))
                 if outcome is None:
                     return self._finish(result)  # budget exhausted
@@ -468,15 +548,28 @@ class Reverter:
                 seen.add(cut)
                 cuts.append(cut)
         for cut in cuts:
+            if self.intents is not None and self.intents.is_done(cut):
+                # a crashed previous run already applied and tested this
+                # cut; re-apply idempotently, skip the re-execution
+                reverted = self.rollback_to_before(cut)
+                result.reverted_seqs.extend(reverted)
+                continue
+            faultinject.fire("revert.cut")  # crash between reversion steps
+            if self.intents is not None:
+                self.intents.begin(cut, mode="rollback")
             reverted = self.rollback_to_before(cut)
             result.reverted_seqs.extend(reverted)
             outcome = self._attempt(result, max(1, len(reverted)))
+            faultinject.fire("revert.commit")  # crash after cut, before done
             if outcome is None:
                 return self._finish(result)
+            recovered = outcome.ok
+            if self.intents is not None:
+                self.intents.commit(cut, recovered=recovered)
             if not outcome.ok and self._is_new_fault(outcome):
                 result.notes = "stopped: new fault surfaced"
                 return self._finish(result)
-            if outcome.ok:
+            if recovered:
                 result.recovered = True
                 return self._finish(result)
         return self._finish(result)

@@ -1,0 +1,276 @@
+"""Crash-safety of the checkpoint log and its on-disk region.
+
+Covers the hardening added for the injection sweep: per-version
+checksums, structural validation with a typed error, quarantine of
+corrupt bytes, the self-verifying v2 region format with its torn-tail /
+bit-flip recovery loader, and the reverter's write-ahead intent journal.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.checkpoint.log import MAX_VERSIONS, CheckpointLog, version_crc
+from repro.errors import CorruptLogError
+from repro.instrument.artifacts import (
+    load_checkpoint_log,
+    open_and_verify,
+    save_checkpoint_log,
+)
+from repro.pmem.pool import PM_BASE
+from repro.reactor.revert import IntentJournal
+
+A = PM_BASE
+B = PM_BASE + 64
+
+
+def _small_log() -> CheckpointLog:
+    log = CheckpointLog()
+    log.record_alloc(A, 4)
+    log.record_update(A, 2, [11, 22])
+    log.record_tx_begin(1)
+    log.record_update(A, 2, [33, 44], tx_id=1)
+    log.record_tx_commit(1)
+    log.record_alloc(B, 4)
+    log.record_update(B, 3, [1, 2, 3])
+    log.record_free(B, 4)
+    return log
+
+
+# ----------------------------------------------------------------------
+# checksums + quarantine
+# ----------------------------------------------------------------------
+def test_every_recorded_version_carries_a_valid_checksum():
+    log = _small_log()
+    assert log.verify_checksums() == []
+    for entry in log.entries.values():
+        for v in entry.versions:
+            assert v.crc >= 0
+            assert v.crc == version_crc(entry.address, v.seq, v.data,
+                                        v.size, v.tx_id)
+
+
+def test_bitflip_is_detected_and_quarantined_not_deserialized():
+    log = _small_log()
+    entry = log.entries[A]
+    victim = entry.versions[-1]
+    victim.data = (victim.data[0] ^ 0x100, victim.data[1])
+    assert log.verify_checksums() == [(A, victim.seq)]
+    quarantined = log.quarantine_corrupt()
+    assert [(a, v.seq) for a, v in quarantined] == [(A, victim.seq)]
+    # the corrupt version is out of the ring; the entry now reports
+    # evicted history, so the reverter floors instead of trusting a hole
+    assert victim.seq not in [v.seq for v in entry.versions]
+    assert entry.history_evicted
+    assert log.verify_checksums() == []
+    assert log.quarantined and log.quarantined[0][1].seq == victim.seq
+
+
+# ----------------------------------------------------------------------
+# structural validation (rebuild_indexes raises a typed error)
+# ----------------------------------------------------------------------
+def test_rebuild_indexes_rejects_out_of_order_event_seqs():
+    log = _small_log()
+    log.events[0], log.events[1] = log.events[1], log.events[0]
+    with pytest.raises(CorruptLogError, match="out of order"):
+        log.rebuild_indexes()
+
+
+def test_rebuild_indexes_rejects_seq_beyond_next_seq():
+    log = _small_log()
+    log.events[-1].seq = 999
+    with pytest.raises(CorruptLogError, match="next_seq"):
+        log.rebuild_indexes()
+
+
+def test_rebuild_indexes_rejects_dangling_realloc_forward_link():
+    log = _small_log()
+    log.entries[A].new_entry = 0xDEAD_0000
+    with pytest.raises(CorruptLogError, match="dangling realloc"):
+        log.rebuild_indexes()
+
+
+def test_rebuild_indexes_rejects_unreciprocated_realloc_link():
+    log = _small_log()
+    log.entries[A].new_entry = B  # B.old_entry does not point back
+    with pytest.raises(CorruptLogError, match="dangling realloc"):
+        log.rebuild_indexes()
+
+
+def test_backward_realloc_link_may_dangle():
+    # the pre-realloc incarnation may never have been persisted, so only
+    # forward links are strict
+    log = _small_log()
+    log.link_realloc(0x7777_0000, B)
+    log.rebuild_indexes()  # does not raise
+
+
+def test_quarantine_repair_path_skips_validation_but_stays_sound():
+    log = _small_log()
+    entry = log.entries[B]
+    entry.versions[0].data = (9, 9, 9)
+    log.quarantine_corrupt()
+    log.rebuild_indexes()  # validates fine after repair
+
+
+# ----------------------------------------------------------------------
+# v2 region format: round-trip, strict load, recovery load
+# ----------------------------------------------------------------------
+def _region_lines(path):
+    with open(path) as f:
+        return f.read().splitlines()
+
+
+def test_v2_region_roundtrip(tmp_path):
+    log = _small_log()
+    path = str(tmp_path / "ckpt.jsonl")
+    save_checkpoint_log(log, path)
+    loaded = load_checkpoint_log(path)
+    assert loaded.total_updates == log.total_updates
+    assert loaded._next_seq == log._next_seq
+    assert set(loaded.entries) == set(log.entries)
+    for addr in log.entries:
+        assert [v.seq for v in loaded.entries[addr].versions] == \
+            [v.seq for v in log.entries[addr].versions]
+        assert [v.data for v in loaded.entries[addr].versions] == \
+            [v.data for v in log.entries[addr].versions]
+    assert [ev.seq for ev in loaded.events] == [ev.seq for ev in log.events]
+    assert loaded.tx_members == log.tx_members
+    # a clean region verifies clean
+    _log2, report = open_and_verify(path)
+    assert report.clean
+
+
+def test_strict_load_rejects_flipped_record_byte(tmp_path):
+    log = _small_log()
+    path = str(tmp_path / "ckpt.jsonl")
+    save_checkpoint_log(log, path)
+    lines = _region_lines(path)
+    # flip a digit inside an entry record's data, keeping valid JSON
+    victim = next(i for i, ln in enumerate(lines) if '"t": "entry"' in ln)
+    lines[victim] = lines[victim].replace('"data": [11,', '"data": [13,', 1)
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    with pytest.raises(CorruptLogError):
+        load_checkpoint_log(path)
+    # the recovery loader quarantines the record instead
+    loaded, report = open_and_verify(path)
+    assert not report.clean
+    assert report.quarantined_records == 1
+    assert loaded.entries  # the intact entries survived
+
+
+def test_strict_load_rejects_missing_commit_record(tmp_path):
+    log = _small_log()
+    path = str(tmp_path / "ckpt.jsonl")
+    save_checkpoint_log(log, path)
+    lines = _region_lines(path)
+    with open(path, "w") as f:
+        f.write("\n".join(lines[:-1]) + "\n")  # drop the commit
+    with pytest.raises(CorruptLogError):
+        load_checkpoint_log(path)
+    _loaded, report = open_and_verify(path)
+    assert report.missing_commit
+
+
+def test_open_and_verify_truncates_torn_tail(tmp_path):
+    log = _small_log()
+    path = str(tmp_path / "ckpt.jsonl")
+    save_checkpoint_log(log, path)
+    lines = _region_lines(path)
+    # the writer died mid-append: half a record, no commit
+    torn = lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]
+    with open(path, "w") as f:
+        f.write("\n".join(torn) + "\n")
+    loaded, report = open_and_verify(path)
+    assert report.truncated_records >= 1
+    assert report.missing_commit
+    loaded.rebuild_indexes()  # survivors are structurally valid
+    assert loaded.entries
+
+
+def test_open_and_verify_quarantines_checksum_failing_version(tmp_path):
+    log = _small_log()
+    entry = log.entries[A]
+    victim = entry.versions[-1]
+    victim.data = (victim.data[0] ^ 1, victim.data[1])  # corrupt pre-save
+    path = str(tmp_path / "ckpt.jsonl")
+    save_checkpoint_log(log, path)
+    loaded, report = open_and_verify(path)
+    assert (A, victim.seq) in report.quarantined_versions
+    assert victim.seq not in [v.seq for v in loaded.entries[A].versions]
+
+
+def test_open_and_verify_requires_a_header(tmp_path):
+    path = str(tmp_path / "junk.jsonl")
+    with open(path, "w") as f:
+        f.write("this is not a checkpoint region\n")
+    with pytest.raises(CorruptLogError):
+        open_and_verify(path)
+
+
+def test_v1_single_dict_format_still_loads(tmp_path):
+    log = _small_log()
+    payload = {
+        "max_versions": log.max_versions,
+        "next_seq": log._next_seq,
+        "total_updates": log.total_updates,
+        "entries": [
+            {
+                "address": e.address,
+                "max_versions": e.max_versions,
+                "total_versions": e.total_versions,
+                "old_entry": e.old_entry,
+                "new_entry": e.new_entry,
+                "versions": [
+                    {"seq": v.seq, "data": list(v.data), "size": v.size,
+                     "tx": v.tx_id}
+                    for v in e.versions
+                ],
+            }
+            for e in log.entries.values()
+        ],
+        "events": [
+            {"seq": ev.seq, "kind": ev.kind, "addr": ev.addr,
+             "nwords": ev.nwords, "tx": ev.tx_id}
+            for ev in log.events
+        ],
+        "tx_members": {str(k): v for k, v in log.tx_members.items()},
+    }
+    path = str(tmp_path / "ckpt_v1.json")
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    loaded = load_checkpoint_log(path)
+    assert loaded.total_updates == log.total_updates
+    # seed-era versions carry no checksum and are skipped by the verifier
+    assert all(v.crc == -1 for e in loaded.entries.values()
+               for v in e.versions)
+    assert loaded.verify_checksums() == []
+
+
+# ----------------------------------------------------------------------
+# intent journal
+# ----------------------------------------------------------------------
+def test_intent_journal_replays_from_file(tmp_path):
+    path = str(tmp_path / "intents.jsonl")
+    j = IntentJournal(path)
+    j.begin(17, mode="rollback")
+    j.commit(17, recovered=False)
+    j.begin(9, mode="rollback")  # crash before commit: stays pending
+    j2 = IntentJournal(path)
+    assert j2.is_done(17)
+    assert not j2.is_done(9)
+    assert j2.status[9] == "pending"
+    assert j2.done_cuts() == [17]
+
+
+def test_intent_journal_tolerates_torn_tail(tmp_path):
+    path = str(tmp_path / "intents.jsonl")
+    j = IntentJournal(path)
+    j.begin(5, mode="rollback")
+    j.commit(5)
+    with open(path, "a") as f:
+        f.write('{"op": "begi')  # writer died mid-append
+    j2 = IntentJournal(path)
+    assert j2.done_cuts() == [5]

@@ -1,0 +1,92 @@
+"""Unit tests for the deterministic fault-injection machinery."""
+
+import pytest
+
+from repro import faultinject
+from repro.errors import InjectedCrash
+from repro.faultinject import (
+    InjectionPlan,
+    InjectionSpec,
+    enumerate_cells,
+    kind_applies,
+)
+
+
+def test_fire_is_noop_without_plan():
+    assert faultinject.active() is None
+    assert faultinject.fire("pmem.fence") is None
+
+
+def test_activate_restores_previous_plan():
+    outer = InjectionPlan(record=True)
+    inner = InjectionPlan(record=True)
+    with faultinject.activate(outer):
+        assert faultinject.active() is outer
+        with faultinject.activate(inner):
+            assert faultinject.active() is inner
+        assert faultinject.active() is outer
+    assert faultinject.active() is None
+
+
+def test_crash_spec_fires_at_exact_occurrence_only_once():
+    plan = InjectionPlan([InjectionSpec("pmem.fence", occurrence=2)])
+    with faultinject.activate(plan):
+        assert faultinject.fire("pmem.fence") is None  # occurrence 1
+        with pytest.raises(InjectedCrash):
+            faultinject.fire("pmem.fence")  # occurrence 2: boom
+        # one-shot: the same site passes clean afterwards (retry model)
+        assert faultinject.fire("pmem.fence") is None
+        assert plan.all_fired
+        assert plan.counts["pmem.fence"] == 3
+
+
+def test_torn_and_bitflip_return_spec_instead_of_raising():
+    plan = InjectionPlan([
+        InjectionSpec("pmem.fence", 1, "torn", seed=7),
+        InjectionSpec("ckpt.record_update", 1, "bitflip", seed=9),
+    ])
+    with faultinject.activate(plan):
+        spec = faultinject.fire("pmem.fence")
+        assert spec is not None and spec.kind == "torn" and spec.seed == 7
+        spec = faultinject.fire("ckpt.record_update")
+        assert spec is not None and spec.kind == "bitflip"
+
+
+def test_record_mode_counts_without_injecting():
+    plan = InjectionPlan([InjectionSpec("pmem.fence", 1)], record=True)
+    with faultinject.activate(plan):
+        for _ in range(3):
+            assert faultinject.fire("pmem.fence") is None
+    assert plan.counts == {"pmem.fence": 3}
+    assert plan.fired == []
+
+
+def test_kind_applies_restricts_torn_and_bitflip():
+    assert kind_applies("pmem.fence", "torn")
+    assert not kind_applies("pmem.flush", "torn")
+    assert kind_applies("ckpt.record_update", "bitflip")
+    assert not kind_applies("revert.cut", "bitflip")
+    for site in ("pmem.fence", "ckpt.record_update", "revert.cut"):
+        assert kind_applies(site, "crash")
+
+
+def test_enumerate_cells_samples_endpoints_and_filters_kinds():
+    counts = {"pmem.fence": 10, "revert.cut": 1, "ckpt.record_update": 2}
+    cells = enumerate_cells(counts, kinds=("crash", "torn", "bitflip"),
+                            max_per_site=3)
+    fence_crash = [c.occurrence for c in cells
+                   if c.site == "pmem.fence" and c.kind == "crash"]
+    assert fence_crash[0] == 1 and fence_crash[-1] == 10
+    assert len(fence_crash) == 3
+    # torn only at fences, bitflip only at record_update
+    assert all(c.site == "pmem.fence" for c in cells if c.kind == "torn")
+    assert all(c.site == "ckpt.record_update"
+               for c in cells if c.kind == "bitflip")
+    # deterministic: same inputs, same cell list
+    assert cells == enumerate_cells(counts, kinds=("crash", "torn", "bitflip"),
+                                    max_per_site=3)
+
+
+def test_enumerate_cells_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        enumerate_cells({"pmem.fence": 1}, kinds=("meteor",))

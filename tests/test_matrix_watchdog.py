@@ -1,0 +1,48 @@
+"""The monitor-thread cell watchdog (SIGALRM replacement).
+
+The old per-cell timeout used ``SIGALRM``, which only delivers to a
+process's main thread; a cell run from a worker thread silently lost its
+timeout.  These tests pin the watchdog's portability (fires off the main
+thread) and its shutdown race (a cell finishing at the deadline must not
+leak a late ``CellTimeout`` into the caller).
+"""
+
+import threading
+import time
+
+from repro.harness.matrix import _CellWatchdog, _run_cell_payload
+
+
+def test_watchdog_fires_off_main_thread():
+    """A too-slow cell on a non-main thread still yields a timeout record."""
+    payload = {}
+
+    def worker():
+        payload.update(_run_cell_payload(("f12", "arthas", 0), 0.001))
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join(timeout=30)
+    assert not t.is_alive()
+    assert payload["status"] == "error"
+    assert payload["error"]["kind"] == "timeout"
+    assert "exceeded" in payload["error"]["message"]
+
+
+def test_watchdog_cancelled_before_deadline_never_fires():
+    """A cell finishing before its deadline must see no timeout at all."""
+    for _ in range(50):
+        w = _CellWatchdog(0.05, threading.get_ident())
+        w.start()
+        w.cancel()
+    # were any timer still pending, its CellTimeout would land in this
+    # window and fail the test
+    time.sleep(0.15)
+    for _ in range(10_000):
+        pass
+
+
+def test_fast_cell_completes_under_generous_timeout():
+    payload = _run_cell_payload(("f12", "arthas", 0), 120.0)
+    assert payload["status"] == "ok"
+    assert payload["summary"]["manifested"] is True
