@@ -13,9 +13,15 @@ Every reactor query used to be a linear scan over all entries or all
 events, which made mitigation time quadratic in log size.  The log now
 maintains derived indexes incrementally as events are recorded:
 
-* a **sorted entry-address list** (bisect) answering "which entries could
-  cover address ``a``" in ``O(log n + w)`` where ``w`` is the number of
-  entries inside the maximum-object-size window, instead of ``O(n)``;
+* a **size-class interval index** answering "which entries could
+  intersect range ``[a, a+s)``": entries are bucketed by the power-of-two
+  class of their widest retained version, each bucket a sorted
+  base-address list, so a query costs ``O(log n + w)`` per non-empty
+  class (at most ``~32`` classes) with ``w`` the matches of *that*
+  class.  The seed used one global ``_max_version_size`` window, which a
+  single multi-KB persisted range widened for **every** lookup,
+  degrading planning toward a full scan; here a huge range only widens
+  the window of its own (sparsely populated) class;
 * the **event stream position index** — events already arrive in
   sequence order, so ``events_after`` is a single ``bisect_right``;
 * a **free-event address index** (per-base event lists plus a sorted
@@ -94,6 +100,7 @@ class CheckpointEntry:
         "max_versions",
         "total_versions",
         "order",
+        "max_size",
     )
 
     def __init__(self, address: int, max_versions: int = MAX_VERSIONS):
@@ -109,6 +116,9 @@ class CheckpointEntry:
         #: creation rank in the owning log; windowed queries sort matches
         #: by it so results keep the pre-index (dict-insertion) order
         self.order = 0
+        #: widest retained version (monotone while recording); drives the
+        #: owning log's size-class interval index
+        self.max_size = 1
 
     def add_version(self, version: Version) -> None:
         self.versions.append(version)
@@ -163,11 +173,13 @@ class CheckpointLog:
         # counters for the data-loss metrics
         self.total_updates = 0
         # ---- derived indexes (kept in sync by the record_* methods) ----
-        #: entry base addresses, sorted (bisect windows)
-        self._entry_addrs: List[int] = []
-        #: widest version ever recorded anywhere; windowed interval
-        #: queries only need to look this far left of a probe address
-        self._max_version_size = 1
+        #: size-class interval index: class exponent -> sorted base
+        #: addresses of entries whose ``max_size`` fits in ``2**exp``.
+        #: An entry in class ``e`` can only intersect ``[lo, hi)`` when
+        #: its base lies in ``[lo - 2**e + 1, hi)``
+        self._size_class_addrs: Dict[int, List[int]] = {}
+        #: entry base address -> its current class exponent
+        self._entry_class: Dict[int, int] = {}
         #: event seqs, parallel to ``events`` (ascending by construction)
         self._event_seqs: List[int] = []
         #: free events grouped by base address, each list seq-ascending
@@ -199,8 +211,21 @@ class CheckpointLog:
         entry = CheckpointEntry(addr, self.max_versions)
         entry.order = len(self.entries)
         self.entries[addr] = entry
-        insort(self._entry_addrs, addr)
+        self._entry_class[addr] = 0
+        insort(self._size_class_addrs.setdefault(0, []), addr)
         return entry
+
+    def _reclass_entry(self, entry: CheckpointEntry) -> None:
+        """Move an entry to the size class covering its ``max_size``."""
+        exp = (entry.max_size - 1).bit_length()
+        old = self._entry_class.get(entry.address)
+        if old == exp:
+            return
+        if old is not None:
+            addrs = self._size_class_addrs[old]
+            addrs.pop(bisect_left(addrs, entry.address))
+        self._entry_class[entry.address] = exp
+        insort(self._size_class_addrs.setdefault(exp, []), entry.address)
 
     # ------------------------------------------------------------------
     def record_update(
@@ -220,8 +245,9 @@ class CheckpointLog:
             ev.seq, data, nwords, tx_id,
             crc=version_crc(addr, ev.seq, data, nwords, tx_id),
         ))
-        if nwords > self._max_version_size:
-            self._max_version_size = nwords
+        if nwords > entry.max_size:
+            entry.max_size = nwords
+            self._reclass_entry(entry)
         if tx_id:
             self.tx_members.setdefault(tx_id, []).append(ev.seq)
         self.total_updates += 1
@@ -335,13 +361,16 @@ class CheckpointLog:
         """
         if validate:
             self.validate_raw_state()
-        self._entry_addrs = sorted(self.entries)
-        self._max_version_size = 1
+        self._size_class_addrs = {}
+        self._entry_class = {}
         for order, entry in enumerate(self.entries.values()):
             entry.order = order
-            for v in entry.versions:
-                if v.size > self._max_version_size:
-                    self._max_version_size = v.size
+            entry.max_size = max((v.size for v in entry.versions), default=1)
+            exp = (entry.max_size - 1).bit_length()
+            self._entry_class[entry.address] = exp
+            self._size_class_addrs.setdefault(exp, []).append(entry.address)
+        for addrs in self._size_class_addrs.values():
+            addrs.sort()
         self._event_seqs = [ev.seq for ev in self.events]
         self._frees_by_addr = {}
         self._max_free_size = 1
@@ -356,11 +385,23 @@ class CheckpointLog:
                 self._live_allocs[ev.addr] = ev.nwords
         self._free_addrs = sorted(self._frees_by_addr)
 
-    def _entries_in_window(self, lo: int, hi: int) -> List[CheckpointEntry]:
-        """Entries with base address in ``[lo, hi)``, in creation order."""
-        i = bisect_left(self._entry_addrs, lo)
-        j = bisect_left(self._entry_addrs, hi, lo=i)
-        matches = [self.entries[a] for a in self._entry_addrs[i:j]]
+    def _entries_intersecting(self, lo: int, hi: int) -> List[CheckpointEntry]:
+        """Entries whose ``[address, address + max_size)`` span can
+        intersect ``[lo, hi)``, in creation order.
+
+        One bisect window per non-empty size class: class ``e`` holds
+        entries no wider than ``2**e`` words, so only bases in
+        ``[lo - 2**e + 1, hi)`` can reach into the query range.  A
+        superset filter — an entry's *versions* may be narrower than its
+        class bound — and callers re-check exactly per version.
+        """
+        entries = self.entries
+        matches: List[CheckpointEntry] = []
+        for exp, addrs in self._size_class_addrs.items():
+            i = bisect_left(addrs, lo - (1 << exp) + 1)
+            j = bisect_left(addrs, hi, lo=i)
+            for a in addrs[i:j]:
+                matches.append(entries[a])
         matches.sort(key=lambda e: e.order)
         return matches
 
@@ -374,9 +415,7 @@ class CheckpointLog:
     def entries_overlapping(self, addr: int) -> List[CheckpointEntry]:
         """Entries whose latest range covers ``addr``."""
         out = []
-        for entry in self._entries_in_window(
-            addr - self._max_version_size + 1, addr + 1
-        ):
+        for entry in self._entries_intersecting(addr, addr + 1):
             latest = entry.latest()
             if latest is None:
                 continue
@@ -388,9 +427,7 @@ class CheckpointLog:
         """Entries whose *any* retained version could overlap
         ``[addr, addr+size)`` — a superset filter for range
         reconstruction (callers re-check per version)."""
-        return self._entries_in_window(
-            addr - self._max_version_size + 1, addr + size
-        )
+        return self._entries_intersecting(addr, addr + size)
 
     def update_seqs_for_address(self, addr: int) -> List[int]:
         """Sequence numbers of all retained versions covering ``addr``."""
@@ -446,9 +483,7 @@ class CheckpointLog:
         it (None when no logged range covers the address)."""
         best_seq = -1
         best_val: Optional[int] = None
-        for entry in self._entries_in_window(
-            addr - self._max_version_size + 1, addr + 1
-        ):
+        for entry in self._entries_intersecting(addr, addr + 1):
             base = entry.address
             for version in entry.versions:
                 if base <= addr < base + version.size and version.seq > best_seq:

@@ -29,7 +29,11 @@ from repro.faults.study import (
     propagation_distribution,
     root_cause_distribution,
 )
-from repro.harness.experiment import SOLUTIONS, run_experiment
+from repro.harness.experiment import (
+    EXTRA_SOLUTIONS,
+    SOLUTIONS,
+    run_experiment,
+)
 from repro.harness.report import render_bars, render_table
 
 
@@ -84,7 +88,10 @@ def _report_result(result) -> None:
 
 
 def _cmd_run(args) -> int:
-    result = run_experiment(args.fault, args.solution, seed=args.seed)
+    result = run_experiment(
+        args.fault, args.solution, seed=args.seed,
+        bisect_engine=args.bisect_engine,
+    )
     _report_result(result)
     return 0 if (result.mitigation and result.mitigation.recovered) else 1
 
@@ -195,16 +202,46 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _profile_report_path(out: str) -> str:
+    import os
+
+    if out == "-":
+        return "results/BENCH_hotpaths_profile.txt"
+    root, _ = os.path.splitext(out)
+    return root + "_profile.txt"
+
+
 def _cmd_bench_hotpaths(args) -> int:
     from repro.harness.hotpaths import render_summary, run_and_write
 
     n_updates = args.updates
     if n_updates is None:
         n_updates = 5_000 if args.quick else 50_000
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     report = run_and_write(
         n_updates=n_updates, seed=args.seed,
         out_path=None if args.out == "-" else args.out,
     )
+    if profiler is not None:
+        import io
+        import os
+        import pstats
+
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        stats.sort_stats("tottime").print_stats(args.profile_top)
+        path = _profile_report_path(args.out)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as f:
+            f.write(buf.getvalue())
+        print(f"wrote {path}", file=sys.stderr)
     print(render_summary(report))
     return 0
 
@@ -258,8 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one fault/solution experiment")
     run_p.add_argument("--fault", required=True,
                        choices=[s.fid for s in ALL_SCENARIOS])
-    run_p.add_argument("--solution", default="arthas", choices=SOLUTIONS)
+    run_p.add_argument("--solution", default="arthas",
+                       choices=list(SOLUTIONS) + list(EXTRA_SOLUTIONS))
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--bisect-engine", default="incremental",
+                       choices=["incremental", "snapshot"],
+                       help="probe engine for arthas-bi (snapshot is the "
+                            "full-restore oracle)")
 
     matrix_p = sub.add_parser("matrix", help="all 12 faults for one solution")
     matrix_p.add_argument("--solution", default="arthas", choices=SOLUTIONS)
@@ -300,6 +342,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--seed", type=int, default=0)
     bench_p.add_argument("--out", default="results/BENCH_hotpaths.json",
                          help="report path ('-' to skip writing)")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="run under cProfile and write a top-N "
+                              "cumulative/tottime report next to the JSON")
+    bench_p.add_argument("--profile-top", type=int, default=30,
+                         help="entries per sort order in the profile report")
 
     sweep_p = sub.add_parser(
         "inject-sweep",

@@ -11,6 +11,10 @@ Solutions:
 
 * ``arthas``     — Arthas in purge mode (the default in the paper)
 * ``arthas-rb``  — Arthas in conservative rollback mode
+* ``arthas-bi``  — Arthas in binary-search (bisect) mode, riding the
+  incremental probe engine; falls back to rollback.  Not part of the
+  default evaluation matrix (``SOLUTIONS``) — accepted by
+  ``run_experiment`` for the probe-engine equivalence suite and the CLI
 * ``pmcriu``     — CRIU + PM pool dumps, 1-minute snapshot interval
 * ``arckpt``     — the checkpoint log without the analyzer
 """
@@ -39,6 +43,12 @@ from repro.reactor.server import ReactorServer
 from repro.workloads.generators import MixedWorkload
 
 SOLUTIONS = ("arthas", "arthas-rb", "pmcriu", "arckpt")
+
+#: accepted by ``run_experiment`` but excluded from the default matrix
+EXTRA_SOLUTIONS = ("arthas-bi",)
+
+#: Arthas solution name -> primary Reverter strategy
+_ARTHAS_MODES = {"arthas": "purge", "arthas-rb": "rollback", "arthas-bi": "bisect"}
 
 #: snapshot interval for pmCRIU in simulated seconds (paper: 1 minute)
 SNAPSHOT_INTERVAL = 60.0
@@ -101,6 +111,10 @@ class MitigationRun:
     leaked_blocks: int = 0
     timed_out: bool = False
     notes: str = ""
+    #: CRC32 fingerprint of the post-mitigation durable state (pool
+    #: image + allocator metadata); lets equivalence suites compare two
+    #: runs' final states without holding both pools
+    pool_digest: str = ""
     #: supervised-mode only: the degradation-ladder account (rungs,
     #: crash retries, post-recovery verification); None for legacy runs
     ladder: Optional[dict] = None
@@ -148,6 +162,7 @@ def run_experiment(
     supervised: bool = False,
     inject_plan: Optional[faultinject.InjectionPlan] = None,
     max_crash_retries: int = 6,
+    bisect_engine: str = "incremental",
 ) -> ExperimentResult:
     """Run one (fault, solution) experiment end to end.
 
@@ -160,13 +175,17 @@ def run_experiment(
     ``inject_plan`` is armed *only* around the mitigation phase — the
     sweep probes recovery's own crash-safety, not the workload's.
     """
-    if solution not in SOLUTIONS:
-        raise ValueError(f"unknown solution {solution!r}; pick from {SOLUTIONS}")
+    if solution not in SOLUTIONS and solution not in EXTRA_SOLUTIONS:
+        raise ValueError(
+            f"unknown solution {solution!r}; pick from "
+            f"{SOLUTIONS + EXTRA_SOLUTIONS}"
+        )
     scenario = scenario_by_id(fid)
+    arthas_like = solution in _ARTHAS_MODES
     adapter = scenario.adapter_cls()(
         seed=seed,
-        with_tracing=solution in ("arthas", "arthas-rb"),
-        with_checkpoint=solution in ("arthas", "arthas-rb", "arckpt"),
+        with_tracing=arthas_like,
+        with_checkpoint=arthas_like or solution == "arckpt",
     )
     adapter.start()
     ctx = ExperimentContext(adapter, scenario, seed)
@@ -297,10 +316,11 @@ def run_experiment(
                 snapshotter=pmcriu, inject_plan=inject_plan,
                 max_crash_retries=max_crash_retries,
             )
-        elif solution in ("arthas", "arthas-rb"):
+        elif arthas_like:
             run = _mitigate_arthas(
                 ctx, scenario, outcome, reexec, mclock, delay,
-                rollback=(solution == "arthas-rb"), batch_size=batch_size,
+                mode=_ARTHAS_MODES[solution], batch_size=batch_size,
+                bisect_engine=bisect_engine,
             )
         elif solution == "pmcriu":
             assert pmcriu is not None
@@ -319,6 +339,7 @@ def run_experiment(
 
     run.items_before = items_before
     run.items_after = _safe_count(adapter)
+    run.pool_digest = pool_digest(adapter.pool, adapter.allocator)
 
     # ------------------------------------------------------------------
     # post-recovery consistency (Table 4)
@@ -366,15 +387,20 @@ def _make_reexec(ctx, scenario, detector, monitor) -> Callable[[], RunOutcome]:
     return reexec
 
 
-def _make_rounds_runner(ctx, reexec, mclock: SimClock, delay, batch_size: int):
+def _make_rounds_runner(
+    ctx, reexec, mclock: SimClock, delay, batch_size: int,
+    bisect_engine: str = "incremental",
+):
     """Build the detector/reactor rounds driver shared by the legacy and
     supervised mitigation paths.
 
-    The returned ``rounds(run, seen_faults, start_iid, use_rollback,
+    The returned ``rounds(run, seen_faults, start_iid, mode,
     max_attempts, intents=None)`` may run several rounds: mitigating one
     bad state can expose a different failure (e.g. restoring wrongly
     deleted items exposes the bad flush timestamp that deleted them),
-    which the detector reports and the reactor re-slices from.
+    which the detector reports and the reactor re-slices from.  ``mode``
+    picks the Reverter strategy: ``"purge"``, ``"rollback"`` or
+    ``"bisect"`` (the latter running on ``bisect_engine``).
     """
     adapter = ctx.adapter
     log = adapter.ckpt.log
@@ -398,7 +424,7 @@ def _make_rounds_runner(ctx, reexec, mclock: SimClock, delay, batch_size: int):
         run: MitigationRun,
         seen_faults: Set[int],
         start_iid: int,
-        use_rollback: bool,
+        mode: str,
         max_attempts: int,
         intents: Optional[IntentJournal] = None,
     ) -> None:
@@ -426,8 +452,10 @@ def _make_rounds_runner(ctx, reexec, mclock: SimClock, delay, batch_size: int):
                 enable_divergence_repair=first_round and _round == 0,
                 intents=intents,
             )
-            if use_rollback:
+            if mode == "rollback":
                 mres = reverter.mitigate_rollback(plan)
+            elif mode == "bisect":
+                mres = reverter.mitigate_bisect(plan, engine=bisect_engine)
             else:
                 mres = reverter.mitigate_purge(plan, batch_size=batch_size)
             run.attempts += mres.attempts
@@ -459,11 +487,12 @@ def _mitigate_arthas(
     reexec,
     mclock: SimClock,
     delay,
-    rollback: bool,
+    mode: str,
     batch_size: int,
+    bisect_engine: str = "incremental",
 ) -> MitigationRun:
     adapter = ctx.adapter
-    solution = "arthas-rb" if rollback else "arthas"
+    solution = {v: k for k, v in _ARTHAS_MODES.items()}[mode]
     log = adapter.ckpt.log
 
     if scenario.kind == "leak":
@@ -472,17 +501,20 @@ def _mitigate_arthas(
     assert outcome.fault is not None, "trap/dataloss faults carry a fault instr"
     run = MitigationRun(solution=solution, recovered=False)
     seen_faults = {outcome.fault.iid}
-    #: per-mode attempt budget; exhausting it in purge mode triggers the
-    #: paper's fallback to conservative rollback (Section 4.5)
-    purge_max_attempts = 60
-    rounds = _make_rounds_runner(ctx, reexec, mclock, delay, batch_size)
+    #: per-mode attempt budget; exhausting it in purge or bisect mode
+    #: triggers the paper's fallback to conservative rollback (§4.5)
+    primary_max_attempts = 60 if mode != "rollback" else 200
+    rounds = _make_rounds_runner(
+        ctx, reexec, mclock, delay, batch_size, bisect_engine=bisect_engine
+    )
 
-    rounds(run, seen_faults, outcome.fault.iid, rollback,
-           purge_max_attempts if not rollback else 200)
-    if not run.recovered and not rollback and mclock.now < MITIGATION_TIMEOUT:
-        # paper Section 4.5: purge exhausted its tries; switch to rollback
+    rounds(run, seen_faults, outcome.fault.iid, mode, primary_max_attempts)
+    if not run.recovered and mode != "rollback" and mclock.now < MITIGATION_TIMEOUT:
+        # paper Section 4.5: the primary mode exhausted its tries (or, for
+        # bisect, even the full reversion did not recover); switch to the
+        # conservative time-ordered rollback
         run.notes = (run.notes + "; " if run.notes else "") + "fell back to rollback"
-        rounds(run, seen_faults, outcome.fault.iid, True, 200)
+        rounds(run, seen_faults, outcome.fault.iid, "rollback", 200)
     run.duration_seconds = mclock.now
     run.total_updates = log.total_updates
     return run
@@ -507,6 +539,7 @@ def _mitigate_supervised(
 
     * ``arthas``     — purge → rollback (intent-journaled) → snapshot
     * ``arthas-rb``  — rollback (intent-journaled) → snapshot
+    * ``arthas-bi``  — bisect → rollback (intent-journaled) → snapshot
     * leak faults    — leak-fix → snapshot
     * ``arckpt``     — arckpt reversion → snapshot
     * ``pmcriu``     — snapshot only
@@ -549,18 +582,18 @@ def _mitigate_supervised(
     scan_log()  # never let a corrupt version seed a reversion plan
 
     rungs: List = []
-    if solution in ("arthas", "arthas-rb") and scenario.kind != "leak" \
+    if solution in _ARTHAS_MODES and scenario.kind != "leak" \
             and outcome.fault is not None:
         rounds = _make_rounds_runner(ctx, strict_reexec, mclock, delay, batch_size)
         seen_faults = {outcome.fault.iid}
 
-        def arthas_step(use_rollback: bool, budget: int, with_intents: bool):
+        def arthas_step(mode: str, budget: int, with_intents: bool):
             def step() -> StepResult:
                 scan_log()
                 before = run.attempts
                 run.recovered = False
                 rounds(
-                    run, seen_faults, outcome.fault.iid, use_rollback,
+                    run, seen_faults, outcome.fault.iid, mode,
                     before + budget,
                     intents=intents if with_intents else None,
                 )
@@ -570,10 +603,11 @@ def _mitigate_supervised(
                 )
             return step
 
-        if solution == "arthas":
-            rungs.append(("purge", arthas_step(False, 60, False)))
-        rungs.append(("rollback", arthas_step(True, 200, True)))
-    elif solution in ("arthas", "arthas-rb") and scenario.kind == "leak":
+        primary = _ARTHAS_MODES[solution]
+        if primary != "rollback":
+            rungs.append((primary, arthas_step(primary, 60, False)))
+        rungs.append(("rollback", arthas_step("rollback", 200, True)))
+    elif solution in _ARTHAS_MODES and scenario.kind == "leak":
         def leak_step() -> StepResult:
             sub = _mitigate_leak_arthas(
                 ctx, scenario, strict_reexec, mclock, delay, solution

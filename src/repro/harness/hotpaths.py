@@ -263,6 +263,54 @@ def bench_mitigation(
 
 
 # ----------------------------------------------------------------------
+# probe-engine benchmark
+# ----------------------------------------------------------------------
+def bench_probe_engine(n_updates: int, seed: int = 0) -> Dict[str, object]:
+    """Incremental probe engine vs the snapshot-restore oracle.
+
+    Runs the *same* production :class:`~repro.reactor.revert.Reverter`
+    bisect twice on identical fresh states — once with the incremental
+    delta engine (per-probe cost O(words dirtied)), once with the
+    snapshot oracle (full-pool restore + prefix replay per probe) — and
+    requires the final durable image, allocator metadata and every
+    ``MitigationResult`` field to come out identical.  The two engines
+    share the search and memoization logic, so any divergence is a state
+    -movement bug, and the run aborts rather than report a speedup.
+    """
+    rows: Dict[str, object] = {}
+    images = {}
+    outcomes = {}
+    for engine in ("incremental", "snapshot"):
+        state = build_synthetic_state(n_updates, seed=seed)
+        reverter = Reverter(
+            state.log, state.pool, state.allocator, state.reexec()
+        )
+        start = time.perf_counter()
+        result = reverter.mitigate_bisect(state.make_plan(), engine=engine)
+        rows[engine + "_seconds"] = time.perf_counter() - start
+        if not result.recovered:
+            raise RuntimeError(f"bisect ({engine} engine) did not recover")
+        images[engine] = state.durable_image()
+        outcomes[engine] = (
+            result.attempts,
+            result.reverted_seqs,
+            result.recovered,
+            result.notes,
+        )
+    if images["incremental"] != images["snapshot"]:
+        raise RuntimeError("probe engines left divergent pool state")
+    if outcomes["incremental"] != outcomes["snapshot"]:
+        raise RuntimeError("probe engines disagree on the MitigationResult")
+    rows["pool_identical"] = True
+    rows["attempts"] = outcomes["incremental"][0]
+    rows["reverted_updates"] = len(outcomes["incremental"][1])
+    rows["speedup"] = (
+        rows["snapshot_seconds"] / max(rows["incremental_seconds"], 1e-9)
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # plan benchmark
 # ----------------------------------------------------------------------
 #: small program whose fault slice contains several PM instructions; its
@@ -668,6 +716,7 @@ def run_hotpaths(
     """Run all three benchmarks; returns the JSON-ready report dict."""
     plan = bench_plan(n_updates, seed=seed, rounds=rounds)
     mitigation = bench_mitigation(n_updates, seed=seed)
+    probe_engine = bench_probe_engine(n_updates, seed=seed)
     vm = bench_vm(vm_iters)
     write_path = bench_write_path(n_updates, seed=seed)
     indexed = float(plan["indexed_seconds"]) + sum(
@@ -686,12 +735,14 @@ def run_hotpaths(
         },
         "plan": plan,
         "mitigation": mitigation,
+        "probe_engine": probe_engine,
         "vm": vm,
         "write_path": write_path,
         "summary": {
             "indexed_plan_plus_mitigation_seconds": indexed,
             "reference_plan_plus_mitigation_seconds": ref,
             "plan_plus_mitigation_speedup": ref / max(indexed, 1e-9),
+            "probe_engine_speedup": probe_engine["speedup"],
             "vm_steps_per_second": vm["steps_per_second"],
             "write_path_updates_per_second":
                 write_path["record_update"]["indexed_updates_per_second"],
@@ -718,6 +769,14 @@ def render_summary(report: Dict[str, object]) -> str:
             f"  {mode:<8}:  indexed {row['indexed_seconds']:.4f}s   "
             f"reference {row['reference_seconds']:.4f}s   "
             f"({row['speedup']:.1f}x, pool identical)"
+        )
+    pe = report.get("probe_engine")
+    if pe is not None:
+        lines.append(
+            f"  probes  :  incremental {pe['incremental_seconds']:.4f}s   "
+            f"snapshot {pe['snapshot_seconds']:.4f}s   "
+            f"({pe['speedup']:.1f}x, {pe['attempts']} attempts, "
+            f"pool identical)"
         )
     lines.append(
         f"  vm:        {s['vm_steps_per_second']:,.0f} steps/s "

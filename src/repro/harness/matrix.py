@@ -212,6 +212,13 @@ class _CellWatchdog:
     the deadline; the lock-guarded ``_done`` flag makes that race safe,
     and a late-delivered ``CellTimeout`` is still caught by the payload
     wrapper's outer handler.
+
+    One CPython caveat remains: a pending async exception delivered
+    while the interpreter is inside a *gc callback* (hypothesis installs
+    one process-wide) is reported as unraisable and cleared — the cell
+    then finishes normally despite the timer having fired.  ``fired``
+    records the timer's verdict so the payload wrapper can convert such
+    a lost delivery into a timeout record deterministically.
     """
 
     def __init__(self, timeout: float, thread_id: int):
@@ -219,6 +226,8 @@ class _CellWatchdog:
         self.thread_id = thread_id
         self._lock = threading.Lock()
         self._done = False
+        #: True once the deadline passed and the async exception was sent
+        self.fired = False
         self._timer = threading.Timer(timeout, self._fire)
         self._timer.daemon = True
 
@@ -229,6 +238,7 @@ class _CellWatchdog:
         with self._lock:
             if self._done:
                 return
+            self.fired = True
             ctypes.pythonapi.PyThreadState_SetAsyncExc(
                 ctypes.c_ulong(self.thread_id), ctypes.py_object(CellTimeout)
             )
@@ -267,6 +277,10 @@ def _run_cell_payload(
         finally:
             if watchdog is not None:
                 watchdog.cancel()
+        if watchdog is not None and watchdog.fired:
+            # the deadline passed but the async exception was lost (e.g.
+            # swallowed by a gc callback); honour the timer's verdict
+            raise CellTimeout()
         return payload
     except CellTimeout:
         return {

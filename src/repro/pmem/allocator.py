@@ -47,6 +47,10 @@ class PMAllocator:
         self._alloc_hooks: List[AllocHook] = []
         self._free_hooks: List[FreeHook] = []
         self._realloc_hooks: List[ReallocHook] = []
+        #: fired *before* any metadata mutation (alloc/free/unfree/
+        #: realloc/import_meta); lets delta snapshots capture the
+        #: pre-mutation metadata lazily instead of copying it eagerly
+        self._pre_mutate_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # hooks
@@ -63,6 +67,19 @@ class PMAllocator:
         """Register a callback fired after every realloc."""
         self._realloc_hooks.append(hook)
 
+    def add_pre_mutate_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback fired before every metadata mutation."""
+        self._pre_mutate_hooks.append(hook)
+
+    def remove_pre_mutate_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister a previously added pre-mutation callback."""
+        self._pre_mutate_hooks.remove(hook)
+
+    def _notify_mutate(self) -> None:
+        if self._pre_mutate_hooks:
+            for hook in list(self._pre_mutate_hooks):
+                hook()
+
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
@@ -74,6 +91,7 @@ class PMAllocator:
         """
         if nwords <= 0:
             raise AllocationError(f"allocation size must be positive, got {nwords}")
+        self._notify_mutate()
         for i, (start, length) in enumerate(self._free):
             if length >= nwords:
                 if length == nwords:
@@ -98,6 +116,7 @@ class PMAllocator:
 
     def free(self, addr: int) -> None:
         """Free a previously allocated block (failure-atomic)."""
+        self._notify_mutate()
         nwords = self._allocations.pop(addr, None)
         if nwords is None:
             raise AllocationError(f"free of unallocated address {addr:#x}")
@@ -133,6 +152,7 @@ class PMAllocator:
         extent.  Block contents are *not* touched — the durable words are
         still there, which is what makes the reversion meaningful.
         """
+        self._notify_mutate()
         existing = self._allocations.get(addr)
         if existing is not None:
             if existing == nwords:
@@ -237,6 +257,7 @@ class PMAllocator:
 
     def import_meta(self, meta: dict) -> None:
         """Restore allocator metadata from a pool snapshot."""
+        self._notify_mutate()
         self._free = [tuple(x) for x in meta["free"]]
         self._allocations = dict(meta["allocations"])
         self._sites = dict(meta["sites"])

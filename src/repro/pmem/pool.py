@@ -21,7 +21,7 @@ program chose, which is what makes rollback consistent (Section 4.6).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro import faultinject
 from repro.errors import InjectedCrash, PoolError
@@ -64,6 +64,15 @@ class PMPool:
         #: explicit (addr, nwords, tag) ranges awaiting the next fence
         self._pending_ranges: List[Tuple[int, int, str]] = []
         self._persist_hooks: List[PersistHook] = []
+        #: open dirty-word epochs: token -> {addr: durable pre-image},
+        #: where ``None`` means the word had no durable entry at all
+        #: (distinct from an explicit 0, so undo restores the exact
+        #: representation byte-for-byte).  Insertion order is open order;
+        #: undo must be LIFO.  Empty in normal operation, so the hot
+        #: persist path pays one truthiness check per durable word (see
+        #: :meth:`open_epoch`).
+        self._epoch_preimages: Dict[int, Dict[int, Optional[int]]] = {}
+        self._epoch_next = 1
         # statistics used by the overhead model and tests
         self.stats = {
             "writes": 0,
@@ -160,10 +169,13 @@ class PMPool:
         if spec is not None and spec.kind == "torn":
             self._torn_fence(spec)
         self.stats["fences"] += 1
+        epochs = self._epoch_preimages
         for line in self._staged_lines:
             base = line * WORDS_PER_LINE
             for addr in range(base, base + WORDS_PER_LINE):
                 if addr in self._cache:
+                    if epochs:
+                        self._note_dirty(addr)
                     self._durable[addr] = self._cache.pop(addr)
                     self.stats["persisted_words"] += 1
         self._staged_lines.clear()
@@ -193,6 +205,8 @@ class PMPool:
             base = line * WORDS_PER_LINE
             for addr in range(base, base + WORDS_PER_LINE):
                 if addr in self._cache:
+                    if self._epoch_preimages:
+                        self._note_dirty(addr)
                     self._durable[addr] = self._cache.pop(addr)
                     self.stats["persisted_words"] += 1
         raise InjectedCrash(
@@ -234,6 +248,8 @@ class PMPool:
         restore) — never by the guest program.
         """
         self._check(addr)
+        if self._epoch_preimages:
+            self._note_dirty(addr)
         if value == 0:
             self._durable.pop(addr, None)
         else:
@@ -257,7 +273,90 @@ class PMPool:
         """Replace the durable image wholesale (snapshot restore)."""
         for addr in items:
             self._check(addr)
+        if self._epoch_preimages:
+            # record the full diff so open epochs stay undoable — the
+            # wholesale replacement is O(pool) anyway
+            for addr in set(self._durable) | set(items):
+                if self._durable.get(addr, 0) != items.get(addr, 0):
+                    self._note_dirty(addr)
         self._durable = dict(items)
         self._cache.clear()
         self._staged_lines.clear()
         self._pending_ranges.clear()
+
+    # ------------------------------------------------------------------
+    # dirty-word epochs (incremental snapshots)
+    # ------------------------------------------------------------------
+    def _note_dirty(self, addr: int) -> None:
+        """Record ``addr``'s durable pre-image in every open epoch.
+
+        First write wins per epoch: the stored value is what the word
+        held when the epoch opened (or when it was first touched after),
+        which is exactly what :meth:`epoch_undo` must write back.  A
+        word with no durable entry records ``None`` so undo can remove
+        the entry again rather than leave an explicit 0 behind.
+        """
+        durable = self._durable
+        for pre in self._epoch_preimages.values():
+            if addr not in pre:
+                pre[addr] = durable.get(addr)
+
+    def open_epoch(self) -> int:
+        """Open a dirty-word tracking epoch; returns an opaque token.
+
+        From now until the epoch is undone or closed, every durable
+        mutation (fence writeback, ``durable_write``, ``load_durable``)
+        records the word's pre-image, so the pool can later be restored
+        to this exact point by rewriting *only the dirty words* —
+        O(delta) instead of the O(pool) full-image copy a
+        :func:`~repro.pmem.snapshot.take_snapshot` pays.  Epochs nest;
+        undo order must be LIFO (newest first).
+        """
+        token = self._epoch_next
+        self._epoch_next += 1
+        self._epoch_preimages[token] = {}
+        return token
+
+    def epoch_dirty_words(self, token: int) -> int:
+        """Number of distinct durable words mutated since the epoch opened."""
+        return len(self._epoch_preimages[token])
+
+    def epoch_undo(self, token: int, close: bool = True) -> int:
+        """Rewrite the epoch's dirty words back to their pre-images.
+
+        ``token`` must be the *newest* open epoch (undo is LIFO — undoing
+        an older epoch first would restore stale values over newer
+        epochs' base states).  With ``close=False`` the epoch stays open
+        with an empty dirty set: the pool now *is* the epoch state, so
+        tracking simply continues from here.  Returns the number of
+        words rewritten.  Restores are recorded into the remaining older
+        epochs (first-write-wins makes most of that a no-op), keeping
+        them undoable in turn.
+        """
+        if token not in self._epoch_preimages:
+            raise PoolError(f"unknown or closed epoch {token}")
+        newest = next(reversed(self._epoch_preimages))
+        if token != newest:
+            raise PoolError(
+                f"epoch undo must be LIFO: {token} is not the newest "
+                f"open epoch ({newest})"
+            )
+        pre = self._epoch_preimages.pop(token)
+        durable = self._durable
+        others = self._epoch_preimages
+        for addr, value in pre.items():
+            if others:
+                for other in others.values():
+                    if addr not in other:
+                        other[addr] = durable.get(addr)
+            if value is None:
+                durable.pop(addr, None)
+            else:
+                durable[addr] = value
+        if not close:
+            self._epoch_preimages[token] = {}
+        return len(pre)
+
+    def close_epoch(self, token: int) -> None:
+        """Stop tracking an epoch without restoring (keep current state)."""
+        self._epoch_preimages.pop(token, None)

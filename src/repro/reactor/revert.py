@@ -30,6 +30,7 @@ from repro.detector.monitor import RunOutcome
 from repro.errors import AllocationError
 from repro.pmem.allocator import PMAllocator
 from repro.pmem.pool import PMPool
+from repro.pmem.snapshot import restore_snapshot, take_snapshot
 from repro.reactor.plan import Candidate, ReversionPlan
 
 ReexecFn = Callable[[], RunOutcome]
@@ -140,6 +141,171 @@ class MitigationResult:
         return len(set(self.reverted_seqs))
 
 
+class _ProbeDelta:
+    """Undo record for one probe step.
+
+    Pairs a pool dirty-word epoch (pre-images of every durable word
+    mutated while the delta is open) with a *lazily* captured allocator
+    metadata pre-image: the allocator's pre-mutate hook fires before its
+    first metadata mutation, at which point the metadata still equals its
+    state when the delta opened — so nothing is copied for the common
+    probe step that never touches the allocator.
+    """
+
+    __slots__ = ("pool", "allocator", "token", "pre_meta", "_armed")
+
+    def __init__(self, pool: PMPool, allocator: PMAllocator):
+        self.pool = pool
+        self.allocator = allocator
+        self.token = pool.open_epoch()
+        self.pre_meta: Optional[dict] = None
+        self._armed = True
+        allocator.add_pre_mutate_hook(self._capture)
+
+    def _capture(self) -> None:
+        if self._armed and self.pre_meta is None:
+            self.pre_meta = self.allocator.export_meta()
+
+    def undo(self, close: bool = True) -> None:
+        """Rewrite only the dirtied words; restore allocator meta if it
+        changed.  With ``close=False`` the delta keeps tracking from the
+        restored state (used by the baseline across a resync)."""
+        self._armed = False
+        self.pool.epoch_undo(self.token, close=close)
+        if self.pre_meta is not None:
+            self.allocator.import_meta(self.pre_meta)
+        if close:
+            self.allocator.remove_pre_mutate_hook(self._capture)
+        else:
+            self.pre_meta = None
+            self._armed = True
+
+    def close(self) -> None:
+        """Stop tracking without undoing (keeps the current state)."""
+        self._armed = False
+        self.pool.close_epoch(self.token)
+        self.allocator.remove_pre_mutate_hook(self._capture)
+
+
+class _SnapshotProbeEngine:
+    """Oracle probe engine: every seek restores the full baseline
+    snapshot and re-applies the reversion prefix from scratch.
+
+    O(pool + prefix) per probe — this is the seed behaviour, kept as the
+    correctness oracle for the incremental engine (same role
+    ``checkpoint/reference.py`` plays for the log indexes).
+    """
+
+    def __init__(self, reverter: "Reverter", groups: List[List[int]]):
+        self.r = reverter
+        self.groups = groups
+        self.baseline = take_snapshot(reverter.pool, reverter.allocator)
+
+    def seek(self, k: int) -> List[int]:
+        """Move the pool to the state with groups[:k] applied."""
+        restore_snapshot(self.r.pool, self.baseline, self.r.allocator)
+        applied: List[int] = []
+        for group in self.groups[:k]:
+            for s in sorted(group, reverse=True):
+                if self.r.revert_update_seq(s, 1, guard_dangling=True):
+                    applied.append(s)
+        return applied
+
+    def begin_reexec(self) -> None:
+        pass  # the next seek's full restore wipes any re-execution dirt
+
+    def end_reexec(self) -> None:
+        pass
+
+    def abort(self) -> None:
+        restore_snapshot(self.r.pool, self.baseline, self.r.allocator)
+
+    def finish(self) -> None:
+        pass
+
+
+class _DeltaProbeEngine:
+    """Incremental probe engine: O(delta) state movement between probes.
+
+    Keeps one :class:`_ProbeDelta` per applied reversion group; moving
+    from probe point ``k`` to ``k'`` applies or undoes only the
+    ``|k - k'|`` group deltas in between.  Re-executions run inside their
+    own delta and are undone immediately, so every probe point's durable
+    image is byte-identical to what the snapshot oracle would produce.
+
+    If a re-execution grew the checkpoint log (recording updates can
+    evict ring versions the prefix reconstruction depends on), the
+    recorded deltas no longer match a fresh application with the current
+    log; the engine then rewinds to the baseline and rebuilds the prefix,
+    which is exactly the oracle's apply-with-current-log semantics.
+    """
+
+    def __init__(self, reverter: "Reverter", groups: List[List[int]]):
+        self.r = reverter
+        self.groups = groups
+        self.pos = 0
+        self.baseline = _ProbeDelta(reverter.pool, reverter.allocator)
+        self.deltas: List[_ProbeDelta] = []
+        self.applied: List[List[int]] = []
+        self._log_seq = reverter.log.max_seq()
+        self._reexec_delta: Optional[_ProbeDelta] = None
+
+    def _apply_group(self, group: List[int]) -> None:
+        delta = _ProbeDelta(self.r.pool, self.r.allocator)
+        seqs: List[int] = []
+        for s in sorted(group, reverse=True):
+            if self.r.revert_update_seq(s, 1, guard_dangling=True):
+                seqs.append(s)
+        self.deltas.append(delta)
+        self.applied.append(seqs)
+        self.pos += 1
+
+    def _undo_group(self) -> None:
+        self.deltas.pop().undo()
+        self.applied.pop()
+        self.pos -= 1
+
+    def _rewind(self) -> None:
+        while self.deltas:
+            self._undo_group()
+        self.baseline.undo(close=False)
+
+    def seek(self, k: int) -> List[int]:
+        if self.r.log.max_seq() != self._log_seq:
+            self._rewind()
+            self._log_seq = self.r.log.max_seq()
+        while self.pos > k:
+            self._undo_group()
+        while self.pos < k:
+            self._apply_group(self.groups[self.pos])
+        return [s for seqs in self.applied for s in seqs]
+
+    def begin_reexec(self) -> None:
+        self._reexec_delta = _ProbeDelta(self.r.pool, self.r.allocator)
+
+    def end_reexec(self) -> None:
+        if self._reexec_delta is not None:
+            self._reexec_delta.undo()
+            self._reexec_delta = None
+
+    def abort(self) -> None:
+        while self.deltas:
+            self._undo_group()
+        self.baseline.undo(close=True)
+
+    def finish(self) -> None:
+        for delta in reversed(self.deltas):
+            delta.close()
+        self.baseline.close()
+
+
+#: engine name -> class, for callers that select by string
+PROBE_ENGINES = {
+    "incremental": _DeltaProbeEngine,
+    "snapshot": _SnapshotProbeEngine,
+}
+
+
 class Reverter:
     """Executes reversion plans against one pool + checkpoint log."""
 
@@ -182,6 +348,8 @@ class Reverter:
         #: write-ahead intent journal; when set, rollback cuts become
         #: resumable after a crash (see :class:`IntentJournal`)
         self.intents = intents
+        #: clock reading when the current strategy started (see _begin)
+        self._t0 = self.clock.now
 
     def _is_new_fault(self, outcome: RunOutcome) -> bool:
         return (
@@ -205,7 +373,8 @@ class Reverter:
         version copy would corrupt.
 
         Only entries whose versions can reach the range are visited
-        (``entries_possibly_overlapping``, a bisect window); the
+        (``entries_possibly_overlapping``, the size-class interval
+        index); the
         non-overlap filter below stays as the exact check.
         """
         writes = {addr + i: 0 for i in range(size)}
@@ -456,7 +625,7 @@ class Reverter:
         self, plan: ReversionPlan, batch_size: int = 1
     ) -> MitigationResult:
         """Dependency-based purge: revert only dependent entries."""
-        result = MitigationResult(recovered=False, mode="purge")
+        result = self._begin("purge")
         if plan.empty:
             result.aborted_empty_plan = True
             return self._finish(result)
@@ -532,7 +701,7 @@ class Reverter:
 
     def mitigate_rollback(self, plan: ReversionPlan) -> MitigationResult:
         """Conservative, time-respecting rollback."""
-        result = MitigationResult(recovered=False, mode="rollback")
+        result = self._begin("rollback")
         if plan.empty:
             result.aborted_empty_plan = True
             return self._finish(result)
@@ -574,22 +743,34 @@ class Reverter:
                 return self._finish(result)
         return self._finish(result)
 
-    def mitigate_bisect(self, plan: ReversionPlan) -> MitigationResult:
+    def mitigate_bisect(
+        self, plan: ReversionPlan, engine: str = "incremental"
+    ) -> MitigationResult:
         """Binary-search reversion (the paper's technical-report variant).
 
         When slice nodes alias many sequence numbers, one-at-a-time
         reversion pays one re-execution per candidate.  Instead: revert
         *all* candidates once; if that recovers the system, binary-search
-        the smallest newest-first prefix that still recovers it.  Probes
-        restore a pre-mitigation snapshot and re-apply the prefix, so the
+        the smallest newest-first prefix that still recovers it, so the
         search is O(log n) re-executions and the final data loss is the
         minimal prefix.  Falls back (returns unrecovered) when even the
         full reversion does not help — the caller can then try purge or
         rollback.
-        """
-        from repro.pmem.snapshot import restore_snapshot, take_snapshot
 
-        result = MitigationResult(recovered=False, mode="bisect")
+        State movement between probe points is pluggable (``engine``):
+
+        * ``"incremental"`` (default) — :class:`_DeltaProbeEngine`; keeps
+          per-group undo deltas and moves between probe prefixes in
+          O(words dirtied), never replaying the pool;
+        * ``"snapshot"`` — :class:`_SnapshotProbeEngine`; the seed's
+          full-restore + re-apply path, kept as the test oracle.
+
+        Probe outcomes are memoized per prefix length, so the final
+        ``probe(best)`` (in the seed a guaranteed redundant re-execution)
+        and any repeated midpoint only move state — with *either* engine —
+        leaving the pool in the minimal recovered state.
+        """
+        result = self._begin("bisect")
         if plan.empty:
             result.aborted_empty_plan = True
             return self._finish(result)
@@ -598,7 +779,6 @@ class Reverter:
             result.recovered = True
             return self._finish(result)
 
-        baseline = take_snapshot(self.pool, self.allocator)
         groups: List[List[int]] = []
         seen: Set[int] = set()
         for cand in plan.candidates:
@@ -607,24 +787,37 @@ class Reverter:
                 seen.update(group)
                 groups.append(group)
 
+        try:
+            engine_cls = PROBE_ENGINES[engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown probe engine {engine!r} "
+                f"(expected one of {sorted(PROBE_ENGINES)})"
+            ) from None
+        eng = engine_cls(self, groups)
+        memo: Dict[int, RunOutcome] = {}
+        applied_by_k: Dict[int, List[int]] = {}
+
         def probe(k: int) -> Optional[RunOutcome]:
-            restore_snapshot(self.pool, baseline, self.allocator)
-            applied = []
-            for group in groups[:k]:
-                for s in sorted(group, reverse=True):
-                    if self.revert_update_seq(s, 1, guard_dangling=True):
-                        applied.append(s)
-            probe.last_applied = applied  # type: ignore[attr-defined]
-            return self._attempt(result, max(1, len(applied)))
+            if k in memo:
+                eng.seek(k)  # move state only; the outcome is known
+                result.last_outcome = memo[k]
+                return memo[k]
+            applied_by_k[k] = eng.seek(k)
+            eng.begin_reexec()
+            outcome = self._attempt(result, max(1, len(applied_by_k[k])))
+            eng.end_reexec()
+            if outcome is not None:
+                memo[k] = outcome
+            return outcome
 
         full = probe(len(groups))
         if full is None or not full.ok:
-            restore_snapshot(self.pool, baseline, self.allocator)
+            eng.abort()
             result.notes = "full reversion did not recover; bisect aborted"
             return self._finish(result)
         lo, hi = 1, len(groups)  # smallest k in [1, n] that recovers
         best = len(groups)
-        best_applied = list(probe.last_applied)  # type: ignore[attr-defined]
         while lo < hi:
             mid = (lo + hi) // 2
             outcome = probe(mid)
@@ -632,31 +825,34 @@ class Reverter:
                 break  # budget exhausted; keep the best known prefix
             if outcome.ok:
                 best, hi = mid, mid
-                best_applied = list(probe.last_applied)  # type: ignore[attr-defined]
             else:
                 lo = mid + 1
-        # leave the pool in the minimal recovered state
-        final = probe(best)
-        if final is not None and final.ok:
-            best_applied = list(probe.last_applied)  # type: ignore[attr-defined]
+        # leave the pool in the minimal recovered state; ``best`` is
+        # always memoized, so this is a pure state move — no re-execution
+        probe(best)
+        eng.finish()
         result.recovered = True
-        result.reverted_seqs = best_applied
+        result.reverted_seqs = list(applied_by_k[best])
         result.notes = f"bisect kept {best} of {len(groups)} reversion groups"
         return self._finish(result)
 
     # ------------------------------------------------------------------
+    def _begin(self, mode: str) -> MitigationResult:
+        """Start a strategy: records the start time so the result's
+        duration covers only *this* run even on a shared clock."""
+        self._t0 = self.clock.now
+        return MitigationResult(recovered=False, mode=mode)
+
     def _attempt(self, result: MitigationResult, reverted_count: int) -> Optional[RunOutcome]:
         """Charge time, re-execute; None when the budget is exhausted."""
         if result.attempts >= self.max_attempts:
             result.timed_out = True
             return None
+        # the re-execution delay is charged to the clock, and _finish
+        # reports the clock delta — so it reaches duration_seconds too
+        # (the seed added a literal 0.0 here and under-reported Fig. 8)
         self.clock.advance(self.revert_cost * reverted_count)
         self.clock.advance(self.reexec_delay())
-        result.duration_seconds = (
-            result.duration_seconds
-            + self.revert_cost * reverted_count
-            + 0.0
-        )
         if self.clock.now > self.timeout_seconds:
             result.timed_out = True
             return None
@@ -666,5 +862,5 @@ class Reverter:
         return outcome
 
     def _finish(self, result: MitigationResult) -> MitigationResult:
-        result.duration_seconds = self.clock.now
+        result.duration_seconds = self.clock.now - self._t0
         return result

@@ -113,13 +113,15 @@ def test_indexed_queries_match_reference(ops):
 def test_rebuild_indexes_restores_equivalence(ops):
     """Wiping the derived indexes and rebuilding loses nothing."""
     log = _build_log(ops)
-    log._entry_addrs = []
+    log._size_class_addrs = {}
+    log._entry_class = {}
     log._event_seqs = []
     log._frees_by_addr = {}
     log._free_addrs = []
     log._live_allocs = {}
-    log._max_version_size = 1
     log._max_free_size = 1
+    for entry in log.entries.values():
+        entry.max_size = 1
     log.rebuild_indexes()
     _assert_queries_match(log)
 

@@ -41,3 +41,99 @@ def test_restore_clears_later_state(pool):
     pool.durable_write(PM_BASE + 3, 9)
     restore_snapshot(pool, snap)
     assert pool.read(PM_BASE + 3) == 0
+
+
+# ----------------------------------------------------------------------
+# dirty-word epoch snapshots (the incremental-probe substrate)
+# ----------------------------------------------------------------------
+
+import pytest
+
+from repro.errors import PoolError
+from repro.pmem.snapshot import (
+    restore_epoch_snapshot,
+    take_epoch_snapshot,
+)
+
+
+def test_epoch_snapshot_restores_only_dirty_words(pool, allocator):
+    a = allocator.zalloc(8)
+    for i in range(8):
+        pool.write(a + i, 10 + i)
+    pool.persist(a, 8)
+    snap = take_epoch_snapshot(pool, allocator, taken_at=3.0, label="ep")
+    # mutate a small subset; the epoch only tracks those words
+    pool.write(a + 2, 999)
+    pool.persist(a + 2, 1)
+    pool.durable_write(a + 5, 888)
+    assert snap.dirty_words(pool) == 2
+    restored = restore_epoch_snapshot(pool, snap, allocator)
+    assert restored == 2
+    assert [pool.read(a + i) for i in range(8)] == list(range(10, 18))
+    assert snap.taken_at == 3.0 and snap.label == "ep"
+
+
+def test_epoch_restore_matches_full_snapshot_restore(pool, allocator):
+    """Epoch undo and full restore leave *identical* durable dicts —
+    including the absent-vs-explicit-zero distinction."""
+    a = allocator.zalloc(6)
+    pool.durable_write(a, 1)
+    pool.durable_write(a + 1, 0)  # explicit zero entry stays an entry
+    full = take_snapshot(pool, allocator)
+    epoch = take_epoch_snapshot(pool, allocator)
+    pool.durable_write(a, 7)
+    pool.durable_write(a + 1, 7)
+    pool.durable_write(a + 2, 7)  # previously absent
+    restore_epoch_snapshot(pool, epoch, allocator)
+    after_epoch = pool.durable_items()
+    pool.durable_write(a, 7)
+    pool.durable_write(a + 1, 7)
+    pool.durable_write(a + 2, 7)
+    restore_snapshot(pool, full, allocator)
+    assert pool.durable_items() == after_epoch
+
+
+def test_epoch_undo_is_lifo_only(pool):
+    outer = pool.open_epoch()
+    inner = pool.open_epoch()
+    with pytest.raises(PoolError):
+        pool.epoch_undo(outer)
+    pool.epoch_undo(inner)
+    pool.epoch_undo(outer)
+    with pytest.raises(PoolError):
+        pool.epoch_undo(outer)  # already closed
+
+
+def test_nested_epoch_undo_restores_each_level(pool):
+    addr = PM_BASE + 10
+    pool.durable_write(addr, 1)
+    outer = pool.open_epoch()
+    pool.durable_write(addr, 2)
+    inner = pool.open_epoch()
+    pool.durable_write(addr, 3)
+    pool.epoch_undo(inner)
+    assert pool.read(addr) == 2
+    pool.epoch_undo(outer)
+    assert pool.read(addr) == 1
+
+
+def test_epoch_undo_keep_open_continues_tracking(pool):
+    addr = PM_BASE + 20
+    tok = pool.open_epoch()
+    pool.durable_write(addr, 5)
+    pool.epoch_undo(tok, close=False)
+    assert pool.read(addr) == 0
+    pool.durable_write(addr, 6)
+    assert pool.epoch_dirty_words(tok) == 1
+    pool.epoch_undo(tok)
+    assert pool.read(addr) == 0
+
+
+def test_epoch_snapshot_captures_allocator_meta(pool, allocator):
+    a = allocator.zalloc(4)
+    snap = take_epoch_snapshot(pool, allocator)
+    b = allocator.zalloc(4)
+    allocator.free(a)
+    restore_epoch_snapshot(pool, snap, allocator)
+    assert allocator.is_allocated(a)
+    assert not allocator.is_allocated(b)
