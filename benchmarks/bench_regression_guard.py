@@ -64,6 +64,15 @@ HARD_FLOOR = 3.0
 #: land in the hundreds)
 OVERHEAD_BUDGET_PCT = 75.0
 
+#: the fused VM must beat per-step table dispatch by at least this
+#: factor.  The full-scale target is 2x; the hard floor sits below it
+#: because a loaded CI runner eats into the margin, while a real
+#: regression (fused silently degrading to per-step dispatch) lands at
+#: ~1.0, well under any band here
+FUSED_HARD_FLOOR = 1.5
+FUSED_RELATIVE_FLOOR = 0.25
+FUSED_RELATIVE_CAP = 4.0
+
 
 class _Checks:
     def __init__(self) -> None:
@@ -105,6 +114,13 @@ def _speedup_floor(committed: Optional[float]) -> float:
     return max(HARD_FLOOR, min(committed * RELATIVE_FLOOR, RELATIVE_CAP))
 
 
+def _fused_floor(committed: Optional[float]) -> float:
+    if committed is None:
+        return FUSED_HARD_FLOOR
+    return max(FUSED_HARD_FLOOR,
+               min(committed * FUSED_RELATIVE_FLOOR, FUSED_RELATIVE_CAP))
+
+
 def run_guard(baseline_path: str, n_updates: int, seed: int) -> int:
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -132,6 +148,14 @@ def run_guard(baseline_path: str, n_updates: int, seed: int) -> int:
                  _speedup_floor(committed_probe))
     checks.flag("probe_engine.pool_identical", probe["pool_identical"])
 
+    # ---- vm_fused (superinstruction engine vs table oracle) -----------
+    vm = fresh["vm"]
+    committed_fused = baseline.get("vm", {}).get("fused_speedup")
+    checks.bound("vm_fused.speedup", vm["fused_speedup"],
+                 _fused_floor(committed_fused))
+    checks.flag("vm_fused.engines_identical",
+                vm.get("engines_identical", False))
+
     # ---- write path ---------------------------------------------------
     fresh_overhead = fresh["write_path"]["record_update"][
         "index_overhead_pct"]
@@ -142,6 +166,26 @@ def run_guard(baseline_path: str, n_updates: int, seed: int) -> int:
     )
     checks.ceiling("write_path.record_update.index_overhead_pct",
                    fresh_overhead, committed_overhead + OVERHEAD_BUDGET_PCT)
+
+    # ---- write_path_staged (staged log vs the eager oracle) -----------
+    # bench_write_path raises outright when the structural digests
+    # diverge; the flag additionally fails CI if the smoke ever gets
+    # skipped or its result misreported
+    checks.flag("write_path_staged.staged_eager_identical",
+                fresh["write_path"].get("staged_eager_identical", False))
+    fresh_ycsb = fresh["write_path"].get("ycsb")
+    committed_ycsb = (
+        baseline.get("write_path", {})
+        .get("ycsb", {})
+        .get("index_overhead_pct")
+    )
+    if fresh_ycsb is None:
+        checks.skip("write_path_staged.ycsb_overhead_pct",
+                    "no ycsb section in fresh run")
+    else:
+        checks.ceiling("write_path_staged.ycsb_overhead_pct",
+                       fresh_ycsb["index_overhead_pct"],
+                       (committed_ycsb or 0.0) + OVERHEAD_BUDGET_PCT)
 
     # ---- matrix (committed numbers only; no re-run here) --------------
     matrix = baseline.get("matrix")

@@ -6,12 +6,56 @@ with the atomic sequence number that orders all PM updates by logical
 time.  Transaction begin/commit marks and alloc/free events share the
 same sequence space so the reactor can group and order reversions.
 
+Staged index maintenance
+------------------------
+
+The ``record_*`` hooks sit on *every* durable write, so they must cost
+as close to an append as possible.  They therefore write nothing but
+a flat staging buffer — one interleaved ``array('Q')`` holding
+``(kind, addr, size, tx)`` per record (sequence numbers are implicit:
+the staged records are exactly the last ``n`` seqs issued, so the merge
+re-derives them from ``next_seq``) — plus one shared **word slab**
+holding the version data of every staged update back to back (a plain
+list: guest words are unbounded Python ints).  No :class:`Version`, no
+:class:`LogEvent`, no index touch, no checksum on the hot path.
+
+The derived indexes absorb the staging tail lazily, in one merge pass
+(:meth:`CheckpointLog.flush_staging`), triggered by
+
+* the first query — every reactor-facing query method flushes, and the
+  ``entries``/``events``/``tx_members`` attributes are flush-on-access
+  properties so even direct consumers (serialization, the reference
+  scans, tests) always observe the merged log; or
+* every ``staging_limit`` records (default ``STAGING_LIMIT`` = 4096),
+  bounding the merge latency any single record can hit.
+
+The merge is observably identical to eager maintenance: sequence
+numbers are issued eagerly at record time, entries are created in
+first-update order, the version ring keeps the newest ``max_versions``
+versions, and ``max_size`` grows over *all* staged sizes exactly as
+the eager per-record check did.  Version storage stays slab-packed
+past the merge: entries hold pending ``(seq, slab, offset, size, tx,
+crc)`` rows, checksummed at merge time with one seeded ``crc32``
+straight off the slab bytes, and :class:`Version` objects (data tuple
++ dataclass) materialize only when the entry is first queried —
+versions evicted while still pending are never materialized at all.
+``staging_limit=1`` degenerates to the eager merge cadence and serves
+as the equivalence oracle.
+
+Crash-derivability: the staged columns model log records already
+durable in the checkpoint region — only the *derived* indexes are
+volatile.  The merge fires the ``ckpt.index_merge`` fault-injection
+site before touching any state, so an injected crash loses nothing
+(staging intact, indexes unchanged) and the post-restart retry
+converges; a real crash rebuilds every index from the persisted region
+via :meth:`rebuild_indexes`.
+
 Indexes
 -------
 
 Every reactor query used to be a linear scan over all entries or all
-events, which made mitigation time quadratic in log size.  The log now
-maintains derived indexes incrementally as events are recorded:
+events, which made mitigation time quadratic in log size.  The merged
+indexes are:
 
 * a **size-class interval index** answering "which entries could
   intersect range ``[a, a+s)``": entries are bucketed by the power-of-two
@@ -42,30 +86,59 @@ Deserialized logs (``instrument.artifacts``) call
 from __future__ import annotations
 
 import zlib
+from array import array
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import faultinject
 from repro.errors import CheckpointError, CorruptLogError
 
 #: default maximum versions retained per entry (paper default: 3)
 MAX_VERSIONS = 3
 
+#: default staging-buffer capacity before an automatic index merge
+STAGING_LIMIT = 4096
 
-def version_crc(addr: int, seq: int, data: Tuple[int, ...], size: int, tx_id: int) -> int:
+#: staged record kinds, by column code
+_KIND_NAMES = ("update", "alloc", "free", "tx-begin", "tx-commit")
+_UPDATE, _ALLOC, _FREE, _TX_BEGIN, _TX_COMMIT = range(5)
+
+#: fields per record in the interleaved staging buffer
+_STRIDE = 4
+
+
+def version_crc(
+    addr: int, seq: int, data: Tuple[int, ...], size: int, tx_id: int
+) -> int:
     """Checksum binding a version's data to its identity.
 
-    Computed when the version is recorded and carried through
-    serialization; any later divergence of the data words (a bit flip in
-    the checkpoint region) is caught by
+    Computed when the version is first observed (for staged recording:
+    when the owning entry materializes its pending slab rows) and
+    carried through serialization; any later divergence of the data
+    words (a bit flip in the checkpoint region) is caught by
     :meth:`CheckpointLog.verify_checksums`.
+
+    The crc runs over the data words as a raw 64-bit array, *seeded*
+    with a 32-bit multiplicative mix of the identity fields — seeding
+    replaces packing an identity header, so one ``crc32`` call per
+    version suffices.  Values outside the signed-64-bit range (guest
+    words are unbounded Python ints) fall back to a tagged string
+    encoding.
     """
-    head = f"{addr}:{seq}:{size}:{tx_id}:".encode()
-    body = ",".join(map(str, data)).encode()
-    return zlib.crc32(body, zlib.crc32(head)) & 0xFFFFFFFF
+    mix = (
+        addr * 0x9E3779B1 + seq * 0x85EBCA77
+        + size * 0xC2B2AE3D + tx_id * 0x27D4EB2F
+    ) & 0xFFFFFFFF
+    try:
+        body = array("q", data).tobytes()
+    except (OverflowError, TypeError):
+        body = ",".join(map(str, data)).encode()
+        mix ^= 0x5F5F5F5F  # tag the fallback encoding
+    return zlib.crc32(body, mix) & 0xFFFFFFFF
 
 
-@dataclass
+@dataclass(slots=True)
 class Version:
     """One version of one address range."""
 
@@ -78,7 +151,7 @@ class Version:
     crc: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class LogEvent:
     """One entry in the global, sequence-ordered event stream."""
 
@@ -90,11 +163,26 @@ class LogEvent:
 
 
 class CheckpointEntry:
-    """Versions of one PM address range, newest last."""
+    """Versions of one PM address range, newest last.
+
+    The retained ring is **slab-packed**: the staged merge appends
+    lightweight pending rows ``(seq, words, woff, size, tx)``
+    referencing the merge's word slab instead of building a
+    :class:`Version` (tuple + object + dataclass init) per record.  The
+    :attr:`versions` property materializes pending rows on first access
+    — reactor queries, verification and serialization all pay that cost
+    (including the version crc) once, off the durable write path.  The
+    corruption binding is not weakened: every consumer that can observe
+    or mutate version data (``verify_checksums``, serialization, the
+    bitflip injection) goes through :attr:`versions` first, so the crc
+    is always computed from the slab words as recorded, before any
+    later divergence.
+    """
 
     __slots__ = (
         "address",
-        "versions",
+        "_versions",
+        "_pending",
         "old_entry",
         "new_entry",
         "max_versions",
@@ -105,7 +193,9 @@ class CheckpointEntry:
 
     def __init__(self, address: int, max_versions: int = MAX_VERSIONS):
         self.address = address
-        self.versions: List[Version] = []
+        self._versions: List[Version] = []
+        #: slab-packed rows not yet materialized, newest last
+        self._pending: List[tuple] = []
         #: address of the pre-realloc incarnation of this object (or None)
         self.old_entry: Optional[int] = None
         #: address this object moved to on realloc (or None)
@@ -120,16 +210,37 @@ class CheckpointEntry:
         #: owning log's size-class interval index
         self.max_size = 1
 
+    @property
+    def versions(self) -> List[Version]:
+        pend = self._pending
+        if pend:
+            self._pending = []
+            vs = self._versions
+            addr = self.address
+            for seq, words, woff, size, tx in pend:
+                data = tuple(words[woff:woff + size])
+                vs.append(
+                    Version(seq, data, size, tx,
+                            version_crc(addr, seq, data, size, tx))
+                )
+        return self._versions
+
+    @versions.setter
+    def versions(self, value: List[Version]) -> None:
+        self._versions = value
+        self._pending = []
+
     def add_version(self, version: Version) -> None:
-        self.versions.append(version)
+        vs = self.versions
+        vs.append(version)
         self.total_versions += 1
-        if len(self.versions) > self.max_versions:
-            self.versions.pop(0)
+        if len(vs) > self.max_versions:
+            vs.pop(0)
 
     @property
     def history_evicted(self) -> bool:
         """True when versions older than the retained ring were dropped."""
-        return self.total_versions > len(self.versions)
+        return self.total_versions > len(self._versions) + len(self._pending)
 
     def version_with_seq(self, seq: int) -> Optional[Version]:
         """The retained version recorded at exactly ``seq``, if any."""
@@ -161,18 +272,32 @@ class CheckpointEntry:
 class CheckpointLog:
     """All entries plus the sequence-ordered event stream."""
 
-    def __init__(self, max_versions: int = MAX_VERSIONS):
+    def __init__(
+        self,
+        max_versions: int = MAX_VERSIONS,
+        staging_limit: int = STAGING_LIMIT,
+    ):
         self.max_versions = max_versions
-        self.entries: Dict[int, CheckpointEntry] = {}
-        self.events: List[LogEvent] = []
+        #: staged records per automatic merge; 1 = eager (the oracle)
+        self.staging_limit = staging_limit
+        # ---- staging columns (the durable-write hot path) ----
+        #: interleaved flat record buffer, stride ``_STRIDE``:
+        #: (kind, addr, size, tx_id) per record.  Sequence numbers are
+        #: *derived* at merge time — staged records are exactly the last
+        #: ``len//_STRIDE`` seqs issued — so recording appends one
+        #: 4-tuple instead of five columns
+        self._stage = array("Q")
+        #: shared word slab: staged update data, back to back
+        self._stage_words: List[int] = []
+        # ---- merged state (behind flush-on-access properties) ----
+        self._entries: Dict[int, CheckpointEntry] = {}
+        self._events: List[LogEvent] = []
         self._next_seq = 1
         #: update-event seqs grouped by transaction id
-        self.tx_members: Dict[int, List[int]] = {}
-        #: seq -> event, for O(1) reactor lookups
-        self._event_by_seq: Dict[int, LogEvent] = {}
+        self._tx_members: Dict[int, List[int]] = {}
         # counters for the data-loss metrics
         self.total_updates = 0
-        # ---- derived indexes (kept in sync by the record_* methods) ----
+        # ---- derived indexes (synced by flush_staging) ----
         #: size-class interval index: class exponent -> sorted base
         #: addresses of entries whose ``max_size`` fits in ``2**exp``.
         #: An entry in class ``e`` can only intersect ``[lo, hi)`` when
@@ -195,22 +320,58 @@ class CheckpointLog:
         self.quarantined: List[Tuple[int, Version]] = []
 
     # ------------------------------------------------------------------
+    # flush-on-access views of the merged state
+    # ------------------------------------------------------------------
+    @property
+    def staging_limit(self) -> int:
+        return self._staging_limit
+
+    @staging_limit.setter
+    def staging_limit(self, n: int) -> None:
+        self._staging_limit = max(1, n)
+        #: auto-merge threshold in buffer slots (records × stride)
+        self._stage_cap = self._staging_limit * _STRIDE
+
+    @property
+    def entries(self) -> Dict[int, CheckpointEntry]:
+        if self._stage:
+            self.flush_staging()
+        return self._entries
+
+    @entries.setter
+    def entries(self, value: Dict[int, CheckpointEntry]) -> None:
+        self._entries = value
+
+    @property
+    def events(self) -> List[LogEvent]:
+        if self._stage:
+            self.flush_staging()
+        return self._events
+
+    @events.setter
+    def events(self, value: List[LogEvent]) -> None:
+        self._events = value
+
+    @property
+    def tx_members(self) -> Dict[int, List[int]]:
+        if self._stage:
+            self.flush_staging()
+        return self._tx_members
+
+    @tx_members.setter
+    def tx_members(self, value: Dict[int, List[int]]) -> None:
+        self._tx_members = value
+
+    # ------------------------------------------------------------------
     def _next(self) -> int:
         seq = self._next_seq
         self._next_seq += 1
         return seq
 
-    def _event(self, kind: str, addr: int = 0, nwords: int = 0, tx_id: int = 0) -> LogEvent:
-        ev = LogEvent(self._next(), kind, addr, nwords, tx_id)
-        self.events.append(ev)
-        self._event_seqs.append(ev.seq)
-        self._event_by_seq[ev.seq] = ev
-        return ev
-
     def _new_entry(self, addr: int) -> CheckpointEntry:
         entry = CheckpointEntry(addr, self.max_versions)
-        entry.order = len(self.entries)
-        self.entries[addr] = entry
+        entry.order = len(self._entries)
+        self._entries[addr] = entry
         self._entry_class[addr] = 0
         insort(self._size_class_addrs.setdefault(0, []), addr)
         return entry
@@ -228,6 +389,8 @@ class CheckpointLog:
         insort(self._size_class_addrs.setdefault(exp, []), entry.address)
 
     # ------------------------------------------------------------------
+    # the staged record_* hot path (staging inlined: no helper call)
+    # ------------------------------------------------------------------
     def record_update(
         self, addr: int, nwords: int, values: List[int], tx_id: int = 0
     ) -> int:
@@ -236,57 +399,154 @@ class CheckpointLog:
             raise CheckpointError(
                 f"update at {addr:#x}: {len(values)} values for {nwords} words"
             )
-        ev = self._event("update", addr, nwords, tx_id)
-        entry = self.entries.get(addr)
-        if entry is None:
-            entry = self._new_entry(addr)
-        data = tuple(values)
-        entry.add_version(Version(
-            ev.seq, data, nwords, tx_id,
-            crc=version_crc(addr, ev.seq, data, nwords, tx_id),
-        ))
-        if nwords > entry.max_size:
-            entry.max_size = nwords
-            self._reclass_entry(entry)
-        if tx_id:
-            self.tx_members.setdefault(tx_id, []).append(ev.seq)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        buf = self._stage
+        buf.extend((_UPDATE, addr, nwords, tx_id))
+        self._stage_words.extend(values)
         self.total_updates += 1
-        return ev.seq
+        if len(buf) >= self._stage_cap:
+            self.flush_staging()
+        return seq
 
     def record_alloc(self, addr: int, nwords: int) -> int:
         """Record a PM allocation event; returns its sequence number."""
-        seq = self._event("alloc", addr, nwords).seq
-        self._live_allocs[addr] = nwords
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        buf = self._stage
+        buf.extend((_ALLOC, addr, nwords, 0))
+        if len(buf) >= self._stage_cap:
+            self.flush_staging()
         return seq
 
     def record_free(self, addr: int, nwords: int) -> int:
         """Record a PM free event; returns its sequence number."""
-        ev = self._event("free", addr, nwords)
-        self._live_allocs.pop(addr, None)
-        if addr not in self._frees_by_addr:
-            self._frees_by_addr[addr] = []
-            insort(self._free_addrs, addr)
-        self._frees_by_addr[addr].append(ev)
-        if nwords > self._max_free_size:
-            self._max_free_size = nwords
-        return ev.seq
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        buf = self._stage
+        buf.extend((_FREE, addr, nwords, 0))
+        if len(buf) >= self._stage_cap:
+            self.flush_staging()
+        return seq
 
     def record_tx_begin(self, tx_id: int) -> int:
         """Insert a transaction-begin mark into the event stream."""
-        return self._event("tx-begin", tx_id=tx_id).seq
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        buf = self._stage
+        buf.extend((_TX_BEGIN, 0, 0, tx_id))
+        if len(buf) >= self._stage_cap:
+            self.flush_staging()
+        return seq
 
     def record_tx_commit(self, tx_id: int) -> int:
         """Insert a transaction-commit mark into the event stream."""
-        return self._event("tx-commit", tx_id=tx_id).seq
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        buf = self._stage
+        buf.extend((_TX_COMMIT, 0, 0, tx_id))
+        if len(buf) >= self._stage_cap:
+            self.flush_staging()
+        return seq
+
+    # ------------------------------------------------------------------
+    def flush_staging(self) -> None:
+        """Merge the staging tail into the entries, events and indexes.
+
+        Observably identical to having run the eager per-record
+        maintenance: same entry creation order, same version rings, same
+        ``max_size`` growth, same event stream.  Version data stays
+        **slab-packed**: the merge appends pending rows referencing the
+        word slab; :class:`Version` objects (tuple + dataclass + crc)
+        only materialize when the owning entry is first queried.
+        Versions evicted from the ring while still pending are simply
+        dropped — never materialized, never checksummed.
+
+        Fires the ``ckpt.index_merge`` fault-injection site *before*
+        mutating anything: an injected crash leaves the staging buffers
+        and every index untouched, so the post-restart retry (the spec
+        is one-shot) converges on exactly the merged state a
+        never-crashed run produces.
+        """
+        buf = self._stage
+        if not buf:
+            return
+        faultinject.fire("ckpt.index_merge")
+        words = self._stage_words
+        self._stage = array("Q")
+        self._stage_words = []
+
+        entries = self._entries
+        append_event = self._events.append
+        append_seq = self._event_seqs.append
+        tx_members = self._tx_members
+        live = self._live_allocs
+        frees_by_addr = self._frees_by_addr
+        new_entry = self._new_entry
+        names = _KIND_NAMES
+        off = 0
+        # staged records are exactly the last n seqs issued
+        seq = self._next_seq - len(buf) // _STRIDE
+        it = iter(buf)
+        for kind, addr, size, tx in zip(it, it, it, it):
+            ev = LogEvent(seq, names[kind], addr, size, tx)
+            append_event(ev)
+            append_seq(seq)
+            if kind == _UPDATE:
+                entry = entries.get(addr)
+                if entry is None:
+                    entry = new_entry(addr)
+                pend = entry._pending
+                pend.append((seq, words, off, size, tx))
+                entry.total_versions += 1
+                vs = entry._versions
+                if len(vs) + len(pend) > entry.max_versions:
+                    if vs:
+                        del vs[0]
+                    else:
+                        del pend[0]
+                if size > entry.max_size:
+                    entry.max_size = size
+                    self._reclass_entry(entry)
+                off += size
+                if tx:
+                    tx_members.setdefault(tx, []).append(seq)
+            elif kind == _ALLOC:
+                live[addr] = size
+            elif kind == _FREE:
+                live.pop(addr, None)
+                if addr not in frees_by_addr:
+                    frees_by_addr[addr] = []
+                    insort(self._free_addrs, addr)
+                frees_by_addr[addr].append(ev)
+                if size > self._max_free_size:
+                    self._max_free_size = size
+            seq += 1
+
+    #: the single entry point Reverter/plan call before querying
+    _flush_staging = flush_staging
 
     def link_realloc(self, old_addr: int, new_addr: int) -> None:
-        """Connect the two incarnations of a resized object."""
-        old = self.entries.get(old_addr)
+        """Connect the two incarnations of a resized object.
+
+        The newest predecessor wins: if ``new_addr`` was already linked
+        from a different old incarnation, that incarnation's forward
+        link is cleared — otherwise it would dangle (forward links must
+        be reciprocated, see :meth:`validate_raw_state`).
+        """
+        if self._stage:
+            self.flush_staging()
+        old = self._entries.get(old_addr)
         if old is not None:
             old.new_entry = new_addr
-        new = self.entries.get(new_addr)
+        new = self._entries.get(new_addr)
         if new is None:
             new = self._new_entry(new_addr)
+        prev_old = new.old_entry
+        if prev_old is not None and prev_old != old_addr:
+            stale = self._entries.get(prev_old)
+            if stale is not None and stale.new_entry == new_addr:
+                stale.new_entry = None
         new.old_entry = old_addr
 
     # ------------------------------------------------------------------
@@ -306,8 +566,10 @@ class CheckpointLog:
           whose ``old_entry`` points back (backward links may dangle:
           the pre-realloc incarnation may never have been persisted).
         """
+        if self._stage:
+            self.flush_staging()
         last = 0
-        for ev in self.events:
+        for ev in self._events:
             if ev.seq <= last:
                 raise CorruptLogError(
                     f"event stream out of order: seq {ev.seq} after {last}"
@@ -317,7 +579,7 @@ class CheckpointLog:
             raise CorruptLogError(
                 f"event seq {last} >= next_seq {self._next_seq}"
             )
-        for addr, entry in self.entries.items():
+        for addr, entry in self._entries.items():
             if entry.address != addr:
                 raise CorruptLogError(
                     f"entry keyed {addr:#x} claims address {entry.address:#x}"
@@ -341,7 +603,7 @@ class CheckpointLog:
                     f"< {len(entry.versions)} retained"
                 )
             if entry.new_entry is not None:
-                target = self.entries.get(entry.new_entry)
+                target = self._entries.get(entry.new_entry)
                 if target is None or target.old_entry != addr:
                     raise CorruptLogError(
                         f"entry {addr:#x}: dangling realloc link to "
@@ -353,17 +615,19 @@ class CheckpointLog:
 
         Deserialization (:mod:`repro.instrument.artifacts`) populates the
         raw entry/event state directly; this restores the invariants the
-        record_* methods maintain incrementally.  ``validate`` (default)
-        runs :meth:`validate_raw_state` first so a corrupt log raises a
+        staged merge maintains.  ``validate`` (default) runs
+        :meth:`validate_raw_state` first so a corrupt log raises a
         typed :class:`CorruptLogError` instead of silently getting
         indexes rebuilt over bad state; repair paths that have already
         quarantined what they could pass ``validate=False``.
         """
+        if self._stage:
+            self.flush_staging()
         if validate:
             self.validate_raw_state()
         self._size_class_addrs = {}
         self._entry_class = {}
-        for order, entry in enumerate(self.entries.values()):
+        for order, entry in enumerate(self._entries.values()):
             entry.order = order
             entry.max_size = max((v.size for v in entry.versions), default=1)
             exp = (entry.max_size - 1).bit_length()
@@ -371,11 +635,11 @@ class CheckpointLog:
             self._size_class_addrs.setdefault(exp, []).append(entry.address)
         for addrs in self._size_class_addrs.values():
             addrs.sort()
-        self._event_seqs = [ev.seq for ev in self.events]
+        self._event_seqs = [ev.seq for ev in self._events]
         self._frees_by_addr = {}
         self._max_free_size = 1
         self._live_allocs = {}
-        for ev in self.events:
+        for ev in self._events:
             if ev.kind == "free":
                 self._frees_by_addr.setdefault(ev.addr, []).append(ev)
                 if ev.nwords > self._max_free_size:
@@ -384,6 +648,47 @@ class CheckpointLog:
             elif ev.kind == "alloc":
                 self._live_allocs[ev.addr] = ev.nwords
         self._free_addrs = sorted(self._frees_by_addr)
+
+    def structural_digest(self) -> int:
+        """Order-insensitive-free fingerprint of the *logical* log state.
+
+        Hashes everything a reader can observe — the event stream, every
+        entry's retained versions (seq, data, size, tx, crc), realloc
+        links, eviction counts, live allocations, free events and
+        transaction membership — after merging any staged tail.  Two
+        logs with equal digests answer every reactor query identically,
+        so the staged write path can be checked against the eager
+        (``staging_limit=1``) oracle, and a crash-recovered log against
+        a never-crashed run.
+        """
+        if self._stage:
+            self.flush_staging()
+        acc: List[tuple] = [
+            ("meta", self._next_seq, self.total_updates),
+            ("events", tuple(
+                (ev.seq, ev.kind, ev.addr, ev.nwords, ev.tx_id)
+                for ev in self._events
+            )),
+        ]
+        for addr in sorted(self._entries):
+            entry = self._entries[addr]
+            acc.append((
+                "entry", addr, entry.old_entry, entry.new_entry,
+                entry.total_versions,
+                tuple(
+                    (v.seq, v.data, v.size, v.tx_id, v.crc)
+                    for v in entry.versions
+                ),
+            ))
+        acc.append(("live", tuple(sorted(self._live_allocs.items()))))
+        acc.append(("frees", tuple(
+            (a, tuple(ev.seq for ev in evs))
+            for a, evs in sorted(self._frees_by_addr.items())
+        )))
+        acc.append(("tx", tuple(
+            (tx, tuple(seqs)) for tx, seqs in sorted(self._tx_members.items())
+        )))
+        return hash(tuple(acc))
 
     def _entries_intersecting(self, lo: int, hi: int) -> List[CheckpointEntry]:
         """Entries whose ``[address, address + max_size)`` span can
@@ -395,7 +700,9 @@ class CheckpointLog:
         superset filter — an entry's *versions* may be narrower than its
         class bound — and callers re-check exactly per version.
         """
-        entries = self.entries
+        if self._stage:
+            self.flush_staging()
+        entries = self._entries
         matches: List[CheckpointEntry] = []
         for exp, addrs in self._size_class_addrs.items():
             i = bisect_left(addrs, lo - (1 << exp) + 1)
@@ -409,8 +716,19 @@ class CheckpointLog:
     # queries used by the reactor
     # ------------------------------------------------------------------
     def event(self, seq: int) -> Optional[LogEvent]:
-        """The event recorded at ``seq`` (None if out of range)."""
-        return self._event_by_seq.get(seq)
+        """The event recorded at ``seq`` (None if out of range).
+
+        A bisect over the (sorted) event-seq list: event lookups are
+        reactor-rare, so the merge no longer maintains a seq->event
+        dict just to make them O(1).
+        """
+        if self._stage:
+            self.flush_staging()
+        seqs = self._event_seqs
+        i = bisect_left(seqs, seq)
+        if i < len(seqs) and seqs[i] == seq:
+            return self._events[i]
+        return None
 
     def entries_overlapping(self, addr: int) -> List[CheckpointEntry]:
         """Entries whose latest range covers ``addr``."""
@@ -438,20 +756,28 @@ class CheckpointLog:
 
     def seqs_in_tx(self, tx_id: int) -> List[int]:
         """Update sequence numbers belonging to one transaction."""
-        return list(self.tx_members.get(tx_id, ()))
+        if self._stage:
+            self.flush_staging()
+        return list(self._tx_members.get(tx_id, ()))
 
     def tx_of_seq(self, seq: int) -> int:
         """Transaction id of an update (0 when not transactional)."""
-        ev = self._event_by_seq.get(seq)
+        ev = self.event(seq)
         return ev.tx_id if ev else 0
 
     def max_seq(self) -> int:
-        """The newest sequence number issued so far."""
+        """The newest sequence number issued so far.
+
+        Sequence numbers are issued eagerly at record time, so this
+        needs no flush — staged records are already counted.
+        """
         return self._next_seq - 1
 
     def events_after(self, seq: int) -> List[LogEvent]:
         """All events with sequence number strictly greater than ``seq``."""
-        return self.events[bisect_right(self._event_seqs, seq):]
+        if self._stage:
+            self.flush_staging()
+        return self._events[bisect_right(self._event_seqs, seq):]
 
     def update_addrs_since(self, seq: int) -> List[int]:
         """Addresses with an update event at-or-after ``seq``, each listed
@@ -462,11 +788,13 @@ class CheckpointLog:
             if ev.kind == "update":
                 seen.add(ev.addr)
         addrs = list(seen)
-        addrs.sort(key=lambda a: self.entries[a].order)
+        addrs.sort(key=lambda a: self._entries[a].order)
         return addrs
 
     def newest_free_covering(self, target: int) -> Optional[LogEvent]:
         """The newest free event whose block contains ``target``."""
+        if self._stage:
+            self.flush_staging()
         best: Optional[LogEvent] = None
         i = bisect_left(self._free_addrs, target - self._max_free_size + 1)
         j = bisect_right(self._free_addrs, target, lo=i)
@@ -493,6 +821,8 @@ class CheckpointLog:
 
     def live_unfreed_allocs(self) -> Dict[int, int]:
         """Blocks with an alloc event and no later free (leak candidates)."""
+        if self._stage:
+            self.flush_staging()
         return dict(self._live_allocs)
 
     # ------------------------------------------------------------------
@@ -507,8 +837,10 @@ class CheckpointLog:
         trusted by reversion.  Versions recorded without a checksum
         (``crc == -1``, e.g. seed-era logs) are skipped.
         """
+        if self._stage:
+            self.flush_staging()
         bad: List[Tuple[int, int]] = []
-        for entry in self.entries.values():
+        for entry in self._entries.values():
             for v in entry.versions:
                 if v.crc >= 0 and version_crc(
                     entry.address, v.seq, v.data, v.size, v.tx_id
@@ -530,7 +862,7 @@ class CheckpointLog:
         if not bad:
             return []
         newly: List[Tuple[int, Version]] = []
-        for addr, entry in self.entries.items():
+        for addr, entry in self._entries.items():
             kept = []
             for v in entry.versions:
                 if (addr, v.seq) in bad:

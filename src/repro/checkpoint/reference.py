@@ -140,7 +140,7 @@ class SeedWriteLog(CheckpointLog):
     ) -> LogEvent:
         ev = LogEvent(self._next(), kind, addr, nwords, tx_id)
         self.events.append(ev)
-        self._event_by_seq[ev.seq] = ev
+        self._event_seqs.append(ev.seq)
         return ev
 
 

@@ -35,6 +35,7 @@ from repro.harness.experiment import (
     run_experiment,
 )
 from repro.harness.report import render_bars, render_table
+from repro.lang.fuse import VM_ENGINES
 
 
 def _cmd_list_faults(_args) -> int:
@@ -91,6 +92,7 @@ def _cmd_run(args) -> int:
     result = run_experiment(
         args.fault, args.solution, seed=args.seed,
         bisect_engine=args.bisect_engine,
+        vm_engine=args.vm_engine,
     )
     _report_result(result)
     return 0 if (result.mitigation and result.mitigation.recovered) else 1
@@ -226,6 +228,7 @@ def _cmd_bench_hotpaths(args) -> int:
     report = run_and_write(
         n_updates=n_updates, seed=args.seed,
         out_path=None if args.out == "-" else args.out,
+        only=args.only,
     )
     if profiler is not None:
         import io
@@ -302,6 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["incremental", "snapshot"],
                        help="probe engine for arthas-bi (snapshot is the "
                             "full-restore oracle)")
+    run_p.add_argument("--vm-engine", default="fused",
+                       choices=list(VM_ENGINES),
+                       help="PMLang VM engine (table is the per-step "
+                            "dispatch oracle)")
 
     matrix_p = sub.add_parser("matrix", help="all 12 faults for one solution")
     matrix_p.add_argument("--solution", default="arthas", choices=SOLUTIONS)
@@ -342,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--seed", type=int, default=0)
     bench_p.add_argument("--out", default="results/BENCH_hotpaths.json",
                          help="report path ('-' to skip writing)")
+    bench_p.add_argument("--only", default=None,
+                         choices=["plan", "mitigation", "probe_engine",
+                                  "vm", "write_path"],
+                         help="run a single section (partial reports "
+                              "omit the summary block; --profile then "
+                              "profiles just that section)")
     bench_p.add_argument("--profile", action="store_true",
                          help="run under cProfile and write a top-N "
                               "cumulative/tottime report next to the JSON")

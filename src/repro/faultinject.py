@@ -43,6 +43,8 @@ site family                fired from
 ``ckpt.record_free``       free hook
 ``ckpt.record_tx_begin``   transaction-begin hook
 ``ckpt.record_tx_commit``  transaction-commit hook
+``ckpt.index_merge``       :meth:`CheckpointLog.flush_staging`, before the
+                           staged records are merged into the indexes
 ``revert.cut``             before each rollback cut / purge group
 ``revert.commit``          after a cut is applied, before its intent is
                            marked done

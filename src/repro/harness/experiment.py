@@ -33,7 +33,12 @@ from repro.detector.signature import FailureSignature
 from repro.errors import InjectedCrash, Trap
 from repro.faults.registry import FaultScenario, scenario_by_id
 from repro.harness.simclock import OP_PERIOD, ReexecDelay, SimClock
-from repro.harness.supervisor import StepResult, ladder_run, pool_digest
+from repro.harness.supervisor import (
+    StepResult,
+    ladder_run,
+    pool_digest,
+    with_crash_retries,
+)
 from repro.lang.interp import FaultInfo
 from repro.pmem.poolcheck import check_pool
 from repro.reactor.leakfix import find_leaked_objects, mitigate_leak
@@ -163,6 +168,7 @@ def run_experiment(
     inject_plan: Optional[faultinject.InjectionPlan] = None,
     max_crash_retries: int = 6,
     bisect_engine: str = "incremental",
+    vm_engine: str = "fused",
 ) -> ExperimentResult:
     """Run one (fault, solution) experiment end to end.
 
@@ -186,6 +192,7 @@ def run_experiment(
         seed=seed,
         with_tracing=arthas_like,
         with_checkpoint=arthas_like or solution == "arckpt",
+        vm_engine=vm_engine,
     )
     adapter.start()
     ctx = ExperimentContext(adapter, scenario, seed)
@@ -579,7 +586,16 @@ def _mitigate_supervised(
         quarantined_total += len(bad)
         return len(bad)
 
-    scan_log()  # never let a corrupt version seed a reversion plan
+    # never let a corrupt version seed a reversion plan; the scan's
+    # checksum pass can itself trigger a staged index merge, which is a
+    # crash site (ckpt.index_merge) — treat a crash there like any
+    # mitigation-step death: model the restart and retry (the staged
+    # tail survives a failed merge untouched, so the retry converges)
+    def initial_scan() -> StepResult:
+        scan_log()
+        return StepResult(recovered=True)
+
+    with_crash_retries(initial_scan, adapter.pool, mclock, max_crash_retries)
 
     rungs: List = []
     if solution in _ARTHAS_MODES and scenario.kind != "leak" \
@@ -657,7 +673,14 @@ def _mitigate_supervised(
     # ------------------------------------------------------------------
     # verification: is the pool provably consistent after recovery?
     # ------------------------------------------------------------------
-    scan_log()
+    # like the initial scan, the verification scan can trigger a staged
+    # index merge (a ckpt.index_merge crash site) — survive it the same
+    # way: model the restart and retry over the intact staging tail
+    def final_scan() -> StepResult:
+        scan_log()
+        return StepResult(recovered=True)
+
+    with_crash_retries(final_scan, adapter.pool, mclock, max_crash_retries)
     pc = check_pool(adapter.pool, adapter.allocator)
     verification: Dict[str, object] = {
         "pool_ok": pc.ok,

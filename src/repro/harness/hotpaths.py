@@ -552,20 +552,83 @@ def _persist_hook_throughput(log_factory, n_persists: int, seed: int) -> float:
     return seconds
 
 
+def _replay_ycsb_updates(log: CheckpointLog, ops) -> float:
+    """Drive pre-generated (addr, values) updates into ``log``."""
+    start = time.perf_counter()
+    for addr, values in ops:
+        log.record_update(addr, OBJ_WORDS, values)
+    return time.perf_counter() - start
+
+
+def _bench_write_path_ycsb(
+    n_updates: int, seed: int, keyspace: int = 4096, theta: float = 0.99
+) -> Dict[str, object]:
+    """Skewed-key write path: YCSB zipfian keys instead of uniform bases.
+
+    The uniform stream of :func:`_replay_write_stream` touches every
+    entry about equally; real KV workloads hammer a hot set, which is
+    exactly where per-entry state (version rings, pending slabs) either
+    pays off or piles up.  Keys and values are pre-generated outside the
+    timed region.
+    """
+    from repro.checkpoint.reference import SeedWriteLog
+    from repro.workloads.ycsb import zipf_keys
+
+    keys = zipf_keys(n_updates, keyspace, theta, seed)
+    rng = random.Random(seed + 7)
+    ops = [
+        (16 + k * OBJ_WORDS,
+         [rng.randrange(1, 1 << 20) for _ in range(OBJ_WORDS)])
+        for k in keys
+    ]
+    indexed = _replay_ycsb_updates(CheckpointLog(), ops)
+    seed_s = _replay_ycsb_updates(SeedWriteLog(), ops)
+    return {
+        "keyspace": keyspace,
+        "theta": theta,
+        "n_updates": n_updates,
+        "indexed_seconds": indexed,
+        "seed_seconds": seed_s,
+        "indexed_updates_per_second": n_updates / max(indexed, 1e-9),
+        "seed_updates_per_second": n_updates / max(seed_s, 1e-9),
+        "index_overhead_pct":
+            100.0 * (indexed - seed_s) / max(seed_s, 1e-9),
+    }
+
+
+def _staged_eager_smoke(n_updates: int, seed: int) -> bool:
+    """Equivalence smoke: the staged write path must leave the same
+    logical log as the eager oracle (``staging_limit=1`` merges every
+    record immediately).  Raises rather than report timings over a
+    divergent log."""
+    staged = CheckpointLog()
+    eager = CheckpointLog(staging_limit=1)
+    n = min(n_updates, 10_000)
+    _replay_write_stream(staged, n, seed)
+    _replay_write_stream(eager, n, seed)
+    if staged.structural_digest() != eager.structural_digest():
+        raise RuntimeError("staged write path diverged from the eager oracle")
+    return True
+
+
 def bench_write_path(n_updates: int, seed: int = 0) -> Dict[str, object]:
     """Checkpoint *write-path* cost: indexed log vs the seed record path.
 
     PR 1's reactor indexes are maintained incrementally inside
-    ``record_update``/``record_alloc``/``record_free``, i.e. on the hot
-    write path every persisted range pays at runtime.  This times the
-    identical event stream against the production
-    :class:`~repro.checkpoint.log.CheckpointLog` and against
-    :class:`~repro.checkpoint.reference.SeedWriteLog` (the index-free
-    seed path), both as raw ``record_update`` calls and end-to-end
-    through the pool's persist hook.
+    ``record_update``/``record_alloc``/``record_free``; since the staged
+    merge landed they are absorbed from a flat staging buffer at query
+    time or every ``staging_limit`` records, so the hot write path only
+    pays an array append.  This times the identical event stream against
+    the production :class:`~repro.checkpoint.log.CheckpointLog` and
+    against :class:`~repro.checkpoint.reference.SeedWriteLog` (the
+    index-free seed path), as raw ``record_update`` calls (uniform and
+    YCSB-zipfian key patterns) and end-to-end through the pool's persist
+    hook — after a staged-vs-eager structural-digest smoke that aborts
+    the bench if the deferred merge is not exact.
     """
     from repro.checkpoint.reference import SeedWriteLog
 
+    staged_eager_identical = _staged_eager_smoke(n_updates, seed)
     indexed_rec = _replay_write_stream(CheckpointLog(), n_updates, seed)
     seed_rec = _replay_write_stream(SeedWriteLog(), n_updates, seed)
     n_persists = min(n_updates, 20_000)
@@ -574,6 +637,8 @@ def bench_write_path(n_updates: int, seed: int = 0) -> Dict[str, object]:
     return {
         "n_updates": n_updates,
         "n_persists": n_persists,
+        "staged_eager_identical": staged_eager_identical,
+        "ycsb": _bench_write_path_ycsb(n_updates, seed),
         "record_update": {
             "indexed_seconds": indexed_rec,
             "seed_seconds": seed_rec,
@@ -690,42 +755,74 @@ def spin(n):
 '''
 
 
-def bench_vm(n_iters: int = 50_000) -> Dict[str, float]:
-    """Interpreter steps/second on a pure-compute loop (dispatch cost)."""
+def bench_vm(n_iters: int = 50_000) -> Dict[str, object]:
+    """Interpreter steps/second on a pure-compute loop (dispatch cost).
+
+    Runs the *same* module through both VM engines — the table-dispatch
+    oracle and the fused superinstruction/segment compiler — and
+    requires identical results and step counts; the fused engine is the
+    headline number, the ratio is the dispatch-elimination payoff.
+    """
     module = compile_module("vmspin", _VM_SRC)
-    machine = Machine(module)
-    start = time.perf_counter()
-    machine.call("spin", n_iters, step_budget=100 * n_iters)
-    seconds = time.perf_counter() - start
+    rows: Dict[str, Dict[str, float]] = {}
+    outcomes = {}
+    for engine in ("table", "fused"):
+        machine = Machine(module, vm_engine=engine)
+        start = time.perf_counter()
+        result = machine.call("spin", n_iters, step_budget=100 * n_iters)
+        seconds = time.perf_counter() - start
+        outcomes[engine] = (result, machine.steps_executed)
+        rows[engine] = {
+            "steps": machine.steps_executed,
+            "seconds": seconds,
+            "steps_per_second": machine.steps_executed / max(seconds, 1e-9),
+        }
+    if outcomes["table"] != outcomes["fused"]:
+        raise RuntimeError(
+            f"vm engines diverged: table {outcomes['table']} vs "
+            f"fused {outcomes['fused']}"
+        )
+    fused, table = rows["fused"], rows["table"]
     return {
-        "steps": machine.steps_executed,
-        "seconds": seconds,
-        "steps_per_second": machine.steps_executed / max(seconds, 1e-9),
+        "steps": fused["steps"],
+        "seconds": fused["seconds"],
+        "steps_per_second": fused["steps_per_second"],
+        "table_seconds": table["seconds"],
+        "table_steps_per_second": table["steps_per_second"],
+        "fused_speedup":
+            fused["steps_per_second"] / max(table["steps_per_second"], 1e-9),
+        "engines_identical": True,
     }
 
 
 # ----------------------------------------------------------------------
 # top-level runner
 # ----------------------------------------------------------------------
+#: sections ``run_hotpaths(only=...)`` / ``bench-hotpaths --only`` accept
+SECTIONS = ("plan", "mitigation", "probe_engine", "vm", "write_path")
+
+
 def run_hotpaths(
     n_updates: int = 50_000,
     seed: int = 0,
     vm_iters: int = 50_000,
     rounds: int = 4,
+    only: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run all three benchmarks; returns the JSON-ready report dict."""
-    plan = bench_plan(n_updates, seed=seed, rounds=rounds)
-    mitigation = bench_mitigation(n_updates, seed=seed)
-    probe_engine = bench_probe_engine(n_updates, seed=seed)
-    vm = bench_vm(vm_iters)
-    write_path = bench_write_path(n_updates, seed=seed)
-    indexed = float(plan["indexed_seconds"]) + sum(
-        float(m["indexed_seconds"]) for m in mitigation.values()
-    )
-    ref = float(plan["reference_seconds"]) + sum(
-        float(m["reference_seconds"]) for m in mitigation.values()
-    )
-    return {
+    """Run the benchmarks; returns the JSON-ready report dict.
+
+    ``only`` restricts the run to a single section (one of
+    :data:`SECTIONS`) — the common iterate-on-one-hot-path loop.  A
+    partial report omits the cross-section ``summary`` block, and
+    :func:`write_report` merges it over the sections already on disk.
+    """
+    if only is not None and only not in SECTIONS:
+        raise ValueError(f"unknown section {only!r}; pick from {SECTIONS}")
+
+    def wanted(name: str) -> bool:
+        return only is None or only == name
+
+    report: Dict[str, object] = {
         "config": {
             "n_updates": n_updates,
             "seed": seed,
@@ -733,38 +830,62 @@ def run_hotpaths(
             "plan_rounds": rounds,
             "decoys": N_DECOYS,
         },
-        "plan": plan,
-        "mitigation": mitigation,
-        "probe_engine": probe_engine,
-        "vm": vm,
-        "write_path": write_path,
-        "summary": {
-            "indexed_plan_plus_mitigation_seconds": indexed,
-            "reference_plan_plus_mitigation_seconds": ref,
-            "plan_plus_mitigation_speedup": ref / max(indexed, 1e-9),
-            "probe_engine_speedup": probe_engine["speedup"],
-            "vm_steps_per_second": vm["steps_per_second"],
-            "write_path_updates_per_second":
-                write_path["record_update"]["indexed_updates_per_second"],
-            "write_path_index_overhead_pct":
-                write_path["record_update"]["index_overhead_pct"],
-        },
     }
+    if wanted("plan"):
+        report["plan"] = bench_plan(n_updates, seed=seed, rounds=rounds)
+    if wanted("mitigation"):
+        report["mitigation"] = bench_mitigation(n_updates, seed=seed)
+    if wanted("probe_engine"):
+        report["probe_engine"] = bench_probe_engine(n_updates, seed=seed)
+    if wanted("vm"):
+        report["vm"] = bench_vm(vm_iters)
+    if wanted("write_path"):
+        report["write_path"] = bench_write_path(n_updates, seed=seed)
+    if only is not None:
+        return report
+
+    plan = report["plan"]
+    mitigation = report["mitigation"]
+    probe_engine = report["probe_engine"]
+    vm = report["vm"]
+    write_path = report["write_path"]
+    indexed = float(plan["indexed_seconds"]) + sum(
+        float(m["indexed_seconds"]) for m in mitigation.values()
+    )
+    ref = float(plan["reference_seconds"]) + sum(
+        float(m["reference_seconds"]) for m in mitigation.values()
+    )
+    report["summary"] = {
+        "indexed_plan_plus_mitigation_seconds": indexed,
+        "reference_plan_plus_mitigation_seconds": ref,
+        "plan_plus_mitigation_speedup": ref / max(indexed, 1e-9),
+        "probe_engine_speedup": probe_engine["speedup"],
+        "vm_steps_per_second": vm["steps_per_second"],
+        "vm_fused_speedup": vm["fused_speedup"],
+        "write_path_updates_per_second":
+            write_path["record_update"]["indexed_updates_per_second"],
+        "write_path_index_overhead_pct":
+            write_path["record_update"]["index_overhead_pct"],
+    }
+    return report
 
 
 def render_summary(report: Dict[str, object]) -> str:
-    """Human-readable digest of one report."""
+    """Human-readable digest of one (possibly partial) report."""
     cfg = report["config"]
-    s = report["summary"]
     lines = [
         f"hot-path benchmark ({cfg['n_updates']} log updates, "
         f"seed {cfg['seed']})",
-        f"  plan ({report['plan']['rounds']} rounds):  "
-        f"indexed {report['plan']['indexed_seconds']:.4f}s   "
-        f"reference {report['plan']['reference_seconds']:.4f}s   "
-        f"({report['plan']['speedup']:.1f}x)",
     ]
-    for mode, row in report["mitigation"].items():
+    plan = report.get("plan")
+    if plan is not None:
+        lines.append(
+            f"  plan ({plan['rounds']} rounds):  "
+            f"indexed {plan['indexed_seconds']:.4f}s   "
+            f"reference {plan['reference_seconds']:.4f}s   "
+            f"({plan['speedup']:.1f}x)"
+        )
+    for mode, row in (report.get("mitigation") or {}).items():
         lines.append(
             f"  {mode:<8}:  indexed {row['indexed_seconds']:.4f}s   "
             f"reference {row['reference_seconds']:.4f}s   "
@@ -778,10 +899,13 @@ def render_summary(report: Dict[str, object]) -> str:
             f"({pe['speedup']:.1f}x, {pe['attempts']} attempts, "
             f"pool identical)"
         )
-    lines.append(
-        f"  vm:        {s['vm_steps_per_second']:,.0f} steps/s "
-        f"({report['vm']['steps']} steps)"
-    )
+    vm = report.get("vm")
+    if vm is not None:
+        lines.append(
+            f"  vm:        {vm['steps_per_second']:,.0f} steps/s fused "
+            f"({vm['steps']} steps, {vm['fused_speedup']:.1f}x over table "
+            f"at {vm['table_steps_per_second']:,.0f}/s, engines identical)"
+        )
     wp = report.get("write_path")
     if wp is not None:
         rec, hook = wp["record_update"], wp["persist_hook"]
@@ -792,6 +916,14 @@ def render_summary(report: Dict[str, object]) -> str:
             f"{hook['indexed_persists_per_second']:,.0f} persist-hook/s "
             f"({hook['index_overhead_pct']:+.1f}%)"
         )
+        ycsb = wp.get("ycsb")
+        if ycsb is not None:
+            lines.append(
+                f"  ycsb:      {ycsb['indexed_updates_per_second']:,.0f} "
+                f"record_update/s zipfian(theta={ycsb['theta']}, "
+                f"keyspace {ycsb['keyspace']}) "
+                f"({ycsb['index_overhead_pct']:+.1f}% vs seed path)"
+            )
     mx = report.get("matrix")
     if mx is not None:
         lines.append(
@@ -809,12 +941,14 @@ def render_summary(report: Dict[str, object]) -> str:
             f"{isw['mean_recovery_seconds']:.2f} sim-s, "
             f"{isw['wall_seconds']:.1f}s wall"
         )
-    lines.append(
-        f"  plan+mitigation speedup: "
-        f"{s['plan_plus_mitigation_speedup']:.1f}x "
-        f"(indexed {s['indexed_plan_plus_mitigation_seconds']:.4f}s, "
-        f"reference {s['reference_plan_plus_mitigation_seconds']:.4f}s)"
-    )
+    s = report.get("summary")
+    if s is not None:
+        lines.append(
+            f"  plan+mitigation speedup: "
+            f"{s['plan_plus_mitigation_speedup']:.1f}x "
+            f"(indexed {s['indexed_plan_plus_mitigation_seconds']:.4f}s, "
+            f"reference {s['reference_plan_plus_mitigation_seconds']:.4f}s)"
+        )
     return "\n".join(lines)
 
 
@@ -824,11 +958,13 @@ def run_and_write(
     vm_iters: int = 50_000,
     rounds: int = 4,
     out_path: Optional[str] = None,
+    only: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the benchmarks and persist the JSON report (shared by the
     ``bench-hotpaths`` CLI subcommand and ``bench_perf_hotpaths.py``)."""
     report = run_hotpaths(
-        n_updates=n_updates, seed=seed, vm_iters=vm_iters, rounds=rounds
+        n_updates=n_updates, seed=seed, vm_iters=vm_iters, rounds=rounds,
+        only=only,
     )
     if out_path is not None:
         write_report(report, out_path)

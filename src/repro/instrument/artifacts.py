@@ -277,7 +277,6 @@ def _build_log(
                 continue
             seen_seqs.add(ev.seq)
             log.events.append(ev)
-            log._event_by_seq[ev.seq] = ev
             max_seq_seen = max(max_seq_seen, ev.seq)
         elif kind == "tx-members":
             log.tx_members = {
@@ -407,7 +406,6 @@ def _load_v1(path: str) -> CheckpointLog:
         event = LogEvent(evj["seq"], evj["kind"], evj["addr"],
                          evj["nwords"], evj["tx"])
         log.events.append(event)
-        log._event_by_seq[event.seq] = event
     log.tx_members = {int(k): list(v) for k, v in payload["tx_members"].items()}
     log.rebuild_indexes()  # the raw state above bypassed the record_* hooks
     return log

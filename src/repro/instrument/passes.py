@@ -15,6 +15,7 @@ from typing import Tuple
 
 from repro.analysis.pmvars import PMClassification
 from repro.instrument.guids import GuidMap
+from repro.lang.fuse import invalidate as _invalidate_fused
 from repro.lang.ir import Module
 
 
@@ -30,6 +31,7 @@ def instrument_module(
     for instr in module.instructions():
         if pm.is_pm_instr(instr.iid):
             instr.guid = guid_map.add(instr)
+    _invalidate_fused(module)  # GUIDs changed: compiled trace hooks are stale
     return guid_map, time.perf_counter() - start
 
 
@@ -37,3 +39,4 @@ def uninstrument_module(module: Module) -> None:
     """Strip GUIDs (used to measure vanilla-vs-instrumented overhead)."""
     for instr in module.instructions():
         instr.guid = None
+    _invalidate_fused(module)

@@ -44,6 +44,7 @@ from repro.errors import (
     SegfaultTrap,
     Trap,
 )
+from repro.lang.fuse import VM_ENGINES, compile_block_segments
 from repro.lang.ir import Function, Instr, Module
 from repro.pmem.allocator import PMAllocator
 from repro.pmem.pool import PM_BASE, PMPool
@@ -161,7 +162,13 @@ class Machine:
         pool_size: int = 1 << 16,
         seed: int = 0,
         step_budget: int = DEFAULT_STEP_BUDGET,
+        vm_engine: str = "fused",
     ):
+        if vm_engine not in VM_ENGINES:
+            raise ValueError(
+                f"unknown vm_engine {vm_engine!r}; expected one of {VM_ENGINES}"
+            )
+        self.vm_engine = vm_engine
         self.module = module
         self.pool = pool if pool is not None else PMPool(pool_size, name=module.name)
         self.allocator = allocator if allocator is not None else PMAllocator(self.pool)
@@ -289,6 +296,16 @@ class Machine:
         preempt: bool,
         quantum: Tuple[int, int] = (1, 12),
     ) -> None:
+        if (
+            self.vm_engine == "fused"
+            and not preempt
+            and self.dep_recorder is None
+            and not self.injections
+        ):
+            # no preemption (so no rng draws), no per-instruction host
+            # hooks: the compiled-segment runner is oracle-equivalent
+            self._run_fused(threads, step_budget)
+            return
         live = [t for t in threads if not t.done]
         if not live:
             return
@@ -321,6 +338,83 @@ class Machine:
             if switch or slice_left <= 0:
                 current = (current + 1) % len(live)
                 slice_left = self.rng.randint(*quantum) if preempt else 1 << 60
+
+    def _run_fused(
+        self, threads: List[Thread], step_budget: int
+    ) -> None:
+        """Cooperative scheduling over compiled segments (the fused engine).
+
+        Straight-line runs execute as one closure call
+        (:mod:`repro.lang.fuse`); everything else — and any segment that
+        would overrun the step budget, or any instruction a segment
+        abandoned after a raw-coded ``KeyError``/``ZeroDivisionError`` —
+        single-steps through the table path, which owns the exact trap
+        conversions.  Step accounting matches the table engine to the
+        step: elided superinstruction temps still count, and a segment
+        only runs when its full count fits the remaining budget.
+        """
+        live = [t for t in threads if not t.done]
+        if not live:
+            return
+        current = 0
+        steps = 0
+        while live:
+            thread = live[current % len(live)]
+            frame = thread.frames[-1]
+            block = frame.func.blocks[frame.block]
+            segs = block._fused_segs
+            if segs is None:
+                segs = compile_block_segments(frame.func, block)
+            seg = segs.get(frame.index)
+            if seg is not None and steps + seg.n_steps <= step_budget:
+                try:
+                    seg.run(self, thread, frame)
+                except Trap as trap:
+                    prefix = frame.index - seg.start
+                    if prefix > 0:
+                        steps += prefix
+                        self.steps_executed += prefix
+                    self._record_fault(trap, thread)
+                    raise
+                except (KeyError, ZeroDivisionError):
+                    # a raw-coded statement faulted: commit the completed
+                    # prefix, then let the table re-execute the faulting
+                    # instruction (frame.index points at it) for the
+                    # exact ReproError/ArithmeticTrap conversion
+                    prefix = frame.index - seg.start
+                    if prefix > 0:
+                        steps += prefix
+                        self.steps_executed += prefix
+                except BaseException:
+                    prefix = frame.index - seg.start
+                    if prefix > 0:
+                        steps += prefix
+                        self.steps_executed += prefix
+                    raise
+                else:
+                    steps += seg.n_steps
+                    self.steps_executed += seg.n_steps
+                    continue
+            try:
+                switch = self._step(thread)
+            except Trap as trap:
+                self._record_fault(trap, thread)
+                raise
+            steps += 1
+            self.steps_executed += 1
+            if steps > step_budget:
+                trap = HangTrap(
+                    f"step budget {step_budget} exceeded in {thread.name}",
+                    location=self._current_location(thread),
+                )
+                self._record_fault(trap, thread)
+                raise trap
+            if thread.done:
+                live = [t for t in live if not t.done]
+                current = 0
+                continue
+            if switch:
+                current = (current + 1) % len(live)
 
     def _current_instr(self, thread: Thread) -> Instr:
         frame = thread.frame

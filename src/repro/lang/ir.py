@@ -186,6 +186,10 @@ class BasicBlock:
     def __init__(self, label: str):
         self.label = label
         self.instrs: List[Instr] = []
+        #: start-index -> compiled fused segment (repro.lang.fuse); None
+        #: until the fused VM first executes this block, and reset by
+        #: finalize()/instrumentation so codegen never sees stale code
+        self._fused_segs = None
 
     def append(self, instr: Instr) -> Instr:
         """Append an instruction to this block and return it."""
@@ -279,6 +283,7 @@ class Module:
         for func in self.functions.values():
             for label in func.block_order:
                 block = func.blocks[label]
+                block._fused_segs = None  # drop stale compiled segments
                 if block.terminator is None:
                     raise CompileError(
                         f"block {func.name}:{label} lacks a terminator"

@@ -131,6 +131,7 @@ def compute_plan(
     """
     start = time.perf_counter()
     trace.flush()  # catch up on buffered records before joining
+    log._flush_staging()  # merge the staged tail before the trace/log join
     if slice_override is not None:
         full_slice = set(slice_override)
     else:

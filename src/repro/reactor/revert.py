@@ -840,6 +840,9 @@ class Reverter:
     def _begin(self, mode: str) -> MitigationResult:
         """Start a strategy: records the start time so the result's
         duration covers only *this* run even on a shared clock."""
+        # absorb the workload's staged tail in one merge up front, so
+        # every query this strategy issues hits fully built indexes
+        self.log._flush_staging()
         self._t0 = self.clock.now
         return MitigationResult(recovered=False, mode=mode)
 

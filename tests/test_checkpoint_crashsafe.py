@@ -11,8 +11,10 @@ import zlib
 
 import pytest
 
+from repro import faultinject
 from repro.checkpoint.log import MAX_VERSIONS, CheckpointLog, version_crc
-from repro.errors import CorruptLogError
+from repro.errors import CorruptLogError, InjectedCrash
+from repro.faultinject import InjectionPlan, InjectionSpec
 from repro.instrument.artifacts import (
     load_checkpoint_log,
     open_and_verify,
@@ -25,17 +27,27 @@ A = PM_BASE
 B = PM_BASE + 64
 
 
-def _small_log() -> CheckpointLog:
-    log = CheckpointLog()
-    log.record_alloc(A, 4)
-    log.record_update(A, 2, [11, 22])
-    log.record_tx_begin(1)
-    log.record_update(A, 2, [33, 44], tx_id=1)
-    log.record_tx_commit(1)
-    log.record_alloc(B, 4)
-    log.record_update(B, 3, [1, 2, 3])
-    log.record_free(B, 4)
+#: the canonical record stream, replayable against any log instance
+_STREAM_OPS = (
+    lambda log: log.record_alloc(A, 4),
+    lambda log: log.record_update(A, 2, [11, 22]),
+    lambda log: log.record_tx_begin(1),
+    lambda log: log.record_update(A, 2, [33, 44], tx_id=1),
+    lambda log: log.record_tx_commit(1),
+    lambda log: log.record_alloc(B, 4),
+    lambda log: log.record_update(B, 3, [1, 2, 3]),
+    lambda log: log.record_free(B, 4),
+)
+
+
+def _apply_stream(log: CheckpointLog) -> CheckpointLog:
+    for op in _STREAM_OPS:
+        op(log)
     return log
+
+
+def _small_log() -> CheckpointLog:
+    return _apply_stream(CheckpointLog())
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +259,68 @@ def test_v1_single_dict_format_still_loads(tmp_path):
     assert all(v.crc == -1 for e in loaded.entries.values()
                for v in e.versions)
     assert loaded.verify_checksums() == []
+
+
+# ----------------------------------------------------------------------
+# crash at the staged-index merge (ckpt.index_merge)
+# ----------------------------------------------------------------------
+def test_crash_at_index_merge_leaves_staging_intact_and_retry_converges():
+    reference = _apply_stream(CheckpointLog(staging_limit=1))  # eager oracle
+
+    log = _apply_stream(CheckpointLog())  # default window: nothing merged yet
+    staged_before = log._stage.tobytes()
+    words_before = list(log._stage_words)
+    plan = InjectionPlan([InjectionSpec("ckpt.index_merge", 1, "crash")])
+    with faultinject.activate(plan):
+        with pytest.raises(InjectedCrash):
+            log.flush_staging()
+        # the site fires before any mutation: the staging tail and every
+        # index are exactly as they were
+        assert log._stage.tobytes() == staged_before
+        assert log._stage_words == words_before
+        assert log._events == []
+        assert log._entries == {}
+        # the spec is one-shot, so the post-crash retry merges clean
+        log.flush_staging()
+    assert plan.all_fired
+    assert log.structural_digest() == reference.structural_digest()
+
+
+def test_crash_at_midstream_autoflush_rebuild_converges():
+    reference = _apply_stream(CheckpointLog(staging_limit=1))
+
+    # a two-record window auto-merges mid-stream; crash the second merge
+    log = CheckpointLog(staging_limit=2)
+    plan = InjectionPlan([InjectionSpec("ckpt.index_merge", 2, "crash")])
+    crashes = 0
+    with faultinject.activate(plan):
+        for op in _STREAM_OPS:
+            try:
+                op(log)
+            except InjectedCrash:
+                # the record that tripped the merge was staged before the
+                # site fired; recovery re-merges and the stream resumes
+                crashes += 1
+                log.rebuild_indexes()
+    assert crashes == 1
+    assert log.structural_digest() == reference.structural_digest()
+
+
+def test_crash_recovered_merge_roundtrips_through_region(tmp_path):
+    reference = _apply_stream(CheckpointLog(staging_limit=1))
+
+    log = _apply_stream(CheckpointLog())
+    plan = InjectionPlan([InjectionSpec("ckpt.index_merge", 1, "crash")])
+    with faultinject.activate(plan):
+        with pytest.raises(InjectedCrash):
+            log.flush_staging()
+        log.rebuild_indexes()  # the recovery entry point retries the merge
+    path = str(tmp_path / "ckpt.jsonl")
+    save_checkpoint_log(log, path)
+    loaded, report = open_and_verify(path)
+    assert report.clean
+    loaded.rebuild_indexes()
+    assert loaded.structural_digest() == reference.structural_digest()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,185 @@
+"""The fused superinstruction VM engine vs the table-dispatch oracle.
+
+``Machine(vm_engine="fused")`` — the default — compiles straight-line
+runs of fusable opcodes into Python closures and elides single-use
+temporaries into their consumers; ``vm_engine="table"`` is the original
+per-step dict-dispatch interpreter, kept as the oracle (mirroring the
+``PROBE_ENGINES`` pattern).  The two must be indistinguishable from
+outside: identical results, identical ``steps_executed``, identical
+fault attribution (trap type, iid, step of occurrence), identical
+``HangTrap`` budget accounting — across compute kernels, trap programs
+and all twelve real fault experiments.
+"""
+
+import pytest
+
+from repro.errors import ArithmeticTrap, HangTrap, SegfaultTrap
+from repro.harness.experiment import run_experiment
+from repro.lang.compiler import compile_module
+from repro.lang.fuse import VM_ENGINES
+from repro.lang.interp import Machine
+
+FIDS = [f"f{i}" for i in range(1, 13)]
+
+_SPIN_SRC = """
+def spin(n):
+    s = 0
+    for i in range(n):
+        s = s + i * 3
+        s = s ^ (i << 1)
+        if s > 1000000:
+            s = s % 65536
+    return s
+"""
+
+
+def _run_both(src, fname, *args, step_budget=None):
+    module = compile_module("t", src)
+    outcomes = {}
+    for engine in VM_ENGINES:
+        machine = Machine(module, vm_engine=engine)
+        result = machine.call(fname, *args, step_budget=step_budget)
+        outcomes[engine] = (result, machine.steps_executed)
+    return outcomes
+
+
+def _trap_both(src, fname, trap_cls, *args):
+    """Both engines trap identically: kind, iid and step of occurrence."""
+    module = compile_module("t", src)
+    observed = {}
+    for engine in VM_ENGINES:
+        machine = Machine(module, vm_engine=engine)
+        with pytest.raises(trap_cls):
+            machine.call(fname, *args)
+        fault = machine.last_fault
+        assert fault is not None, engine
+        observed[engine] = (fault.kind, fault.iid, machine.steps_executed)
+    assert observed["table"] == observed["fused"], observed
+    return observed["fused"]
+
+
+# ----------------------------------------------------------------------
+# result + step parity
+# ----------------------------------------------------------------------
+def test_result_and_step_parity_on_compute_loop():
+    outcomes = _run_both(_SPIN_SRC, "spin", 3000)
+    assert outcomes["table"] == outcomes["fused"]
+    assert outcomes["fused"][1] > 3000  # actually ran the loop
+
+
+def test_parity_with_pm_loads_and_stores():
+    src = """
+def f(n):
+    p = pm_alloc(8)
+    s = 0
+    for i in range(n):
+        p[i % 8] = s + i
+        persist(p + (i % 8), 1)
+        s = s + p[i % 8]
+    return s
+"""
+    outcomes = _run_both(src, "f", 200)
+    assert outcomes["table"] == outcomes["fused"]
+
+
+def test_parity_across_calls_and_branch_mix():
+    src = """
+def helper(a, b):
+    if a > b:
+        return a - b
+    return b - a
+
+def f(n):
+    s = 0
+    for i in range(n):
+        s = s + helper(i, s % 97)
+    return s
+"""
+    outcomes = _run_both(src, "f", 150)
+    assert outcomes["table"] == outcomes["fused"]
+
+
+# ----------------------------------------------------------------------
+# exact fault attribution inside fused segments
+# ----------------------------------------------------------------------
+def test_segfault_in_fused_chain_attributes_the_load():
+    # const + gep + load all sit in one fused segment; the trap must
+    # carry the *load*'s iid and fire on the same step as the oracle
+    src = "def f():\n    p = 12345\n    return p[2]\n"
+    kind, _iid, _steps = _trap_both(src, "f", SegfaultTrap)
+    assert kind == "segfault"
+
+
+def test_store_segfault_parity():
+    src = "def f():\n    p = 999999999\n    p[0] = 7\n    return 0\n"
+    _trap_both(src, "f", SegfaultTrap)
+
+
+def test_division_by_zero_mid_loop_parity():
+    # the ZeroDivisionError raised by raw-coded arithmetic falls back to
+    # table re-execution for exact ArithmeticTrap conversion
+    src = """
+def f(a):
+    s = 0
+    for i in range(5):
+        s = s + 10 // a
+    return s
+"""
+    _trap_both(src, "f", ArithmeticTrap, 0)
+
+
+# ----------------------------------------------------------------------
+# budget accounting: HangTrap on exactly the same step
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("budget", [7, 23, 50, 101])
+def test_hang_budget_parity(budget):
+    module = compile_module("t", _SPIN_SRC)
+    steps = {}
+    for engine in VM_ENGINES:
+        machine = Machine(module, vm_engine=engine)
+        with pytest.raises(HangTrap):
+            machine.call("spin", 10_000, step_budget=budget)
+        steps[engine] = machine.steps_executed
+    assert steps["table"] == steps["fused"]
+
+
+# ----------------------------------------------------------------------
+# engine selection plumbing
+# ----------------------------------------------------------------------
+def test_unknown_vm_engine_rejected():
+    module = compile_module("t", "def f():\n    return 1\n")
+    with pytest.raises(ValueError):
+        Machine(module, vm_engine="nope")
+
+
+def test_default_engine_is_fused():
+    module = compile_module("t", "def f():\n    return 1\n")
+    assert Machine(module).vm_engine == "fused"
+
+
+# ----------------------------------------------------------------------
+# equivalence on the real fault experiments
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fid", FIDS)
+def test_engines_equivalent_on_real_faults(fid):
+    """Both engines end every real experiment in the same final state.
+
+    ``pool_digest`` fingerprints the durable image + allocator metadata,
+    so digest equality is byte-level state equality.  The consistency
+    probe is skipped: the digest is taken before it and the probe
+    roughly doubles the runtime.
+    """
+    runs = [
+        run_experiment(
+            fid, "arthas-bi", seed=0, consistency_probe=False,
+            vm_engine=engine,
+        ).mitigation
+        for engine in ("fused", "table")
+    ]
+    a, b = runs
+    assert a is not None and b is not None
+    assert a.recovered and b.recovered
+    assert a.pool_digest == b.pool_digest
+    assert (a.attempts, a.reverted_updates, a.notes) == (
+        b.attempts, b.reverted_updates, b.notes
+    )
