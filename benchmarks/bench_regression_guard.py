@@ -73,6 +73,16 @@ FUSED_HARD_FLOOR = 1.5
 FUSED_RELATIVE_FLOOR = 0.25
 FUSED_RELATIVE_CAP = 4.0
 
+#: non-quarantined traffic during an active mitigation must see a p99
+#: at least this much lower than stop-the-world serving.  The committed
+#: target is >= 5x; the hard floor sits below it because the measured
+#: ratio swings with runner load, while a real regression (the
+#: cooperative chunking silently degrading to one long stall) lands the
+#: ratio at ~1
+LIVE_HARD_FLOOR = 2.5
+LIVE_RELATIVE_FLOOR = 0.25
+LIVE_RELATIVE_CAP = 5.0
+
 
 class _Checks:
     def __init__(self) -> None:
@@ -119,6 +129,13 @@ def _fused_floor(committed: Optional[float]) -> float:
         return FUSED_HARD_FLOOR
     return max(FUSED_HARD_FLOOR,
                min(committed * FUSED_RELATIVE_FLOOR, FUSED_RELATIVE_CAP))
+
+
+def _live_floor(committed: Optional[float]) -> float:
+    if committed is None:
+        return LIVE_HARD_FLOOR
+    return max(LIVE_HARD_FLOOR,
+               min(committed * LIVE_RELATIVE_FLOOR, LIVE_RELATIVE_CAP))
 
 
 def run_guard(baseline_path: str, n_updates: int, seed: int) -> int:
@@ -186,6 +203,21 @@ def run_guard(baseline_path: str, n_updates: int, seed: int) -> int:
         checks.ceiling("write_path_staged.ycsb_overhead_pct",
                        fresh_ycsb["index_overhead_pct"],
                        (committed_ycsb or 0.0) + OVERHEAD_BUDGET_PCT)
+
+    # ---- live traffic (scoped quarantine vs stop-the-world) -----------
+    live = fresh["live_traffic"]
+    committed_live = (
+        baseline.get("live_traffic", {}).get("stw_over_scoped_p99_ratio")
+    )
+    checks.bound("live_traffic.stw_over_scoped_p99_ratio",
+                 live["stw_over_scoped_p99_ratio"],
+                 _live_floor(committed_live))
+    # bench_live_traffic raises outright on digest or recovery mismatch;
+    # the flags additionally fail CI if the section gets skipped or its
+    # result misreported
+    checks.flag("live_traffic.digests_identical",
+                live.get("digests_identical", False))
+    checks.flag("live_traffic.recovered", live.get("recovered", False))
 
     # ---- matrix (committed numbers only; no re-run here) --------------
     matrix = baseline.get("matrix")

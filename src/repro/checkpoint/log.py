@@ -825,6 +825,27 @@ class CheckpointLog:
             self.flush_staging()
         return dict(self._live_allocs)
 
+    def live_alloc_covering(self, addr: int) -> Optional[Tuple[int, int]]:
+        """``(base, nwords)`` of the live-alloc-map block covering ``addr``.
+
+        The key ↔ address-range join the live-traffic server uses: a
+        reversion-plan candidate address is widened to the whole live
+        allocation containing it, so quarantine locks cover every word a
+        reverted cut may touch inside that object.  Returns None when no
+        live (un-freed) allocation covers the address.
+        """
+        if self._stage:
+            self.flush_staging()
+        bases = sorted(self._live_allocs)
+        i = bisect_right(bases, addr) - 1
+        if i < 0:
+            return None
+        base = bases[i]
+        nwords = self._live_allocs[base]
+        if base <= addr < base + nwords:
+            return (base, nwords)
+        return None
+
     # ------------------------------------------------------------------
     # integrity
     # ------------------------------------------------------------------

@@ -249,6 +249,47 @@ def _cmd_bench_hotpaths(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.harness.hotpaths import bench_live_traffic, write_report
+
+    if args.quick:
+        params = dict(n_requests=240, keyspace=192, release_after=96)
+    else:
+        params = dict(n_requests=300, keyspace=192, release_after=120)
+    if args.requests is not None:
+        params["n_requests"] = args.requests
+    section = bench_live_traffic(
+        fid=args.fid, solution=args.solution, seed=args.seed, **params
+    )
+    scoped = section["quarantine"]
+    stw = section["stop_the_world"]
+    print(
+        f"live traffic ({args.fid}/{args.solution}, "
+        f"{section['n_requests']} requests):"
+    )
+    for label, side in (("scoped", scoped), ("stop-the-world", stw)):
+        d = side["during_mitigation"]
+        print(
+            f"  {label:<15} during-mitigation p50 {d['p50'] * 1000:7.1f}ms  "
+            f"p99 {d['p99'] * 1000:7.1f}ms  p999 {d['p999'] * 1000:7.1f}ms  "
+            f"(n={d['count']}, budget burned "
+            f"{side['error_budget']['burned']}/"
+            f"{side['error_budget']['budget']})"
+        )
+    print(
+        f"  p99 ratio {section['stw_over_scoped_p99_ratio']:.1f}x, "
+        f"{scoped['quarantine']['stream_keys']} keys quarantined, "
+        f"analysis {scoped['analysis_seconds']:.3f}s, "
+        f"digests identical"
+    )
+    if args.out != "-":
+        # write only the live_traffic section; write_report's
+        # setdefault-merge keeps every other benched section intact
+        write_report({"live_traffic": section}, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_inject_sweep(args) -> int:
     import json
     import os
@@ -351,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="report path ('-' to skip writing)")
     bench_p.add_argument("--only", default=None,
                          choices=["plan", "mitigation", "probe_engine",
-                                  "vm", "write_path"],
+                                  "vm", "write_path", "live_traffic"],
                          help="run a single section (partial reports "
                               "omit the summary block; --profile then "
                               "profiles just that section)")
@@ -360,6 +401,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "cumulative/tottime report next to the JSON")
     bench_p.add_argument("--profile-top", type=int, default=30,
                          help="entries per sort order in the profile report")
+
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="live-traffic recovery server: p50/p99 under fire, "
+             "quarantine-scoped vs stop-the-world mitigation",
+    )
+    serve_p.add_argument("--fid", default="f1",
+                         help="fault scenario to trigger mid-stream")
+    serve_p.add_argument("--solution", default="arthas-bi",
+                         help="mitigation solution (default arthas-bi)")
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--requests", type=int, default=None,
+                         help="stream length (default 300; --quick 240)")
+    serve_p.add_argument("--quick", action="store_true",
+                         help="smaller keyspace/stream (CI smoke mode)")
+    serve_p.add_argument("--out", default="results/BENCH_hotpaths.json",
+                         help="report path, merged as the live_traffic "
+                              "section ('-' to skip writing)")
 
     sweep_p = sub.add_parser(
         "inject-sweep",
@@ -393,6 +452,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "matrix-all": _cmd_matrix_all,
         "analyze": _cmd_analyze,
         "bench-hotpaths": _cmd_bench_hotpaths,
+        "serve-bench": _cmd_serve_bench,
         "inject-sweep": _cmd_inject_sweep,
     }
     return handlers[args.command](args)

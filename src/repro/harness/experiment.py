@@ -73,6 +73,11 @@ class ExperimentContext:
         self.oracle: Dict[int, int] = {}
         self.state: Dict[str, object] = {}
         self.op_index = 0
+        #: cooperative yield point threaded to host-side mitigation
+        #: loops (probe engines, plan joins); the live-traffic server
+        #: installs a throttled gate checkpoint here for the duration
+        #: of a mitigation window
+        self.yield_fn: Optional[Callable[[], None]] = None
 
     def sample_keys(
         self, n: int, exclude: Optional[Callable[[int], bool]] = None
@@ -123,6 +128,12 @@ class MitigationRun:
     #: supervised-mode only: the degradation-ladder account (rungs,
     #: crash retries, post-recovery verification); None for legacy runs
     ladder: Optional[dict] = None
+    #: reactor-server accounting: background PDG precompute cost and
+    #: plan requests served — the paper accounts analysis time outside
+    #: mitigation latency, so it is surfaced next to slicing_seconds
+    #: instead of being folded into duration_seconds
+    analysis_seconds: float = 0.0
+    reactor_requests: int = 0
 
     @property
     def discarded_pct(self) -> float:
@@ -397,6 +408,7 @@ def _make_reexec(ctx, scenario, detector, monitor) -> Callable[[], RunOutcome]:
 def _make_rounds_runner(
     ctx, reexec, mclock: SimClock, delay, batch_size: int,
     bisect_engine: str = "incremental",
+    server: Optional[ReactorServer] = None,
 ):
     """Build the detector/reactor rounds driver shared by the legacy and
     supervised mitigation paths.
@@ -411,7 +423,8 @@ def _make_rounds_runner(
     """
     adapter = ctx.adapter
     log = adapter.ckpt.log
-    server = ReactorServer(adapter.module, analysis=adapter.analysis)
+    if server is None:
+        server = ReactorServer(adapter.module, analysis=adapter.analysis)
 
     def forward_seqs(cand: Candidate) -> Set[int]:
         if cand.slice_iid < 0:
@@ -444,6 +457,7 @@ def _make_rounds_runner(
             plan = server.compute_plan(
                 adapter.guid_map, adapter.trace, log, fault_iid,
                 policy=distance_policy(max_distance=8),
+                yield_fn=getattr(ctx, "yield_fn", None),
             )
             reverter = Reverter(
                 log,
@@ -458,6 +472,7 @@ def _make_rounds_runner(
                 known_faults=seen_faults,
                 enable_divergence_repair=first_round and _round == 0,
                 intents=intents,
+                yield_fn=getattr(ctx, "yield_fn", None),
             )
             if mode == "rollback":
                 mres = reverter.mitigate_rollback(plan)
@@ -471,6 +486,8 @@ def _make_rounds_runner(
             run.slice_size = max(run.slice_size, plan.slice_size)
             run.pm_slice_size = max(run.pm_slice_size, plan.pm_slice_size)
             run.slicing_seconds += plan.slicing_seconds
+            run.analysis_seconds = server.analysis_seconds
+            run.reactor_requests = server.requests_served
             run.timed_out = mres.timed_out
             run.notes = mres.notes
             if mres.recovered:
@@ -539,6 +556,7 @@ def _mitigate_supervised(
     snapshotter: Optional[PmCRIU],
     inject_plan: Optional[faultinject.InjectionPlan],
     max_crash_retries: int,
+    reactor_server: Optional[ReactorServer] = None,
 ) -> MitigationRun:
     """Crash-safe mitigation: retry with backoff, degrade down the ladder.
 
@@ -600,7 +618,10 @@ def _mitigate_supervised(
     rungs: List = []
     if solution in _ARTHAS_MODES and scenario.kind != "leak" \
             and outcome.fault is not None:
-        rounds = _make_rounds_runner(ctx, strict_reexec, mclock, delay, batch_size)
+        rounds = _make_rounds_runner(
+            ctx, strict_reexec, mclock, delay, batch_size,
+            server=reactor_server,
+        )
         seen_faults = {outcome.fault.iid}
 
         def arthas_step(mode: str, budget: int, with_intents: bool):

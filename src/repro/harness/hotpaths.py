@@ -28,6 +28,7 @@ the dangling-pointer guard through ``newest_free_covering``).
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import random
@@ -553,11 +554,24 @@ def _persist_hook_throughput(log_factory, n_persists: int, seed: int) -> float:
 
 
 def _replay_ycsb_updates(log: CheckpointLog, ops) -> float:
-    """Drive pre-generated (addr, values) updates into ``log``."""
-    start = time.perf_counter()
-    for addr, values in ops:
-        log.record_update(addr, OBJ_WORDS, values)
-    return time.perf_counter() - start
+    """Drive pre-generated (addr, values) updates into ``log``.
+
+    The timed region is only a few milliseconds at quick scale, so one
+    gen-2 collection over the heap the earlier bench sections leave
+    behind would dwarf the measurement: collect up front and keep the
+    collector out of the timed loop.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for addr, values in ops:
+            log.record_update(addr, OBJ_WORDS, values)
+        return time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _bench_write_path_ycsb(
@@ -575,6 +589,12 @@ def _bench_write_path_ycsb(
     from repro.workloads.ycsb import zipf_keys
 
     keys = zipf_keys(n_updates, keyspace, theta, seed)
+    # micro-assert: the memoized zipf CDF must not change a single draw
+    # relative to the from-scratch build (the serving stream relies on
+    # identical key sequences for its digest-determinism guarantees)
+    probe = min(n_updates, 2_000)
+    if keys[:probe] != zipf_keys(probe, keyspace, theta, seed, use_cache=False):
+        raise RuntimeError("cached zipf CDF diverged from uncached draws")
     rng = random.Random(seed + 7)
     ops = [
         (16 + k * OBJ_WORDS,
@@ -796,10 +816,104 @@ def bench_vm(n_iters: int = 50_000) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# live-traffic serving benchmark
+# ----------------------------------------------------------------------
+def _live_traffic_side(report: Dict[str, object]) -> Dict[str, object]:
+    """The per-mode slice of a serving report the bench keeps."""
+    return {
+        "wall_seconds": report["wall_seconds"],
+        "latency": report["latency"],
+        "during_mitigation": report["during_mitigation"],
+        "detection_backlog": report["detection_backlog"],
+        "steady": report["steady"],
+        "error_budget": report["error_budget"],
+        "quarantine": {
+            "ranges": report["quarantine"]["ranges"],
+            "locked_words": report["quarantine"]["locked_words"],
+            "stream_keys": len(report["quarantine"]["stream_keys"]),
+        },
+        "mitigation_wall_seconds": report["mitigation"]["wall_seconds"],
+        "analysis_seconds": report["mitigation"]["analysis_seconds"],
+        "reactor_requests": report["mitigation"]["reactor_requests"],
+    }
+
+
+def bench_live_traffic(
+    fid: str = "f1",
+    solution: str = "arthas-bi",
+    seed: int = 0,
+    n_requests: int = 300,
+    arrival_period_s: float = 0.003,
+    keyspace: int = 192,
+    detect_every: int = 8,
+    release_after: int = 120,
+) -> Dict[str, object]:
+    """p50/p99/p999 under fire: quarantine-scoped vs stop-the-world.
+
+    Runs the same YCSB stream against the live recovery server twice —
+    once serving non-quarantined traffic through mitigation windows
+    (range-scoped quarantine, cooperative chunking) and once stalling
+    every request until mitigation finishes — and reports the latency
+    split for requests that *arrived during an open mitigation window*.
+    The two paths must leave byte-identical pool digests and both must
+    recover; the bench aborts on a mismatch because the latency numbers
+    would then compare different recoveries.
+    """
+    from repro.reactor.server import LiveRecoveryServer
+
+    sides: Dict[str, Dict[str, object]] = {}
+    for mode in ("quarantine", "stop-the-world"):
+        server = LiveRecoveryServer(
+            fid, solution=solution, seed=seed, mode=mode,
+            keyspace=keyspace, detect_every=detect_every,
+            release_after=release_after,
+        )
+        sides[mode] = server.run_sync(
+            n_requests, arrival_period_s=arrival_period_s
+        )
+    scoped, stw = sides["quarantine"], sides["stop-the-world"]
+    for label, rep in sides.items():
+        if not rep["mitigation"]["recovered"] or rep["unavailable"]:
+            raise RuntimeError(
+                f"live-traffic bench: {label} serving did not recover"
+            )
+    if (
+        scoped["digest_after_mitigation"] != stw["digest_after_mitigation"]
+        or scoped["final_digest"] != stw["final_digest"]
+    ):
+        raise RuntimeError(
+            "live-traffic bench: scoped and stop-the-world serving left "
+            "different pool digests — the quarantine path corrupted state"
+        )
+
+    def ratio(which: str) -> float:
+        denom = float(scoped["during_mitigation"][which])
+        return float(stw["during_mitigation"][which]) / max(denom, 1e-9)
+
+    return {
+        "fid": fid,
+        "solution": solution,
+        "seed": seed,
+        "n_requests": n_requests,
+        "arrival_period_s": arrival_period_s,
+        "keyspace": keyspace,
+        "quarantine": _live_traffic_side(scoped),
+        "stop_the_world": _live_traffic_side(stw),
+        "stw_over_scoped_p50_ratio": ratio("p50"),
+        "stw_over_scoped_p99_ratio": ratio("p99"),
+        "stw_over_scoped_p999_ratio": ratio("p999"),
+        "digests_identical": True,
+        "recovered": True,
+    }
+
+
+# ----------------------------------------------------------------------
 # top-level runner
 # ----------------------------------------------------------------------
 #: sections ``run_hotpaths(only=...)`` / ``bench-hotpaths --only`` accept
-SECTIONS = ("plan", "mitigation", "probe_engine", "vm", "write_path")
+SECTIONS = (
+    "plan", "mitigation", "probe_engine", "vm", "write_path", "live_traffic"
+)
 
 
 def run_hotpaths(
@@ -841,6 +955,8 @@ def run_hotpaths(
         report["vm"] = bench_vm(vm_iters)
     if wanted("write_path"):
         report["write_path"] = bench_write_path(n_updates, seed=seed)
+    if wanted("live_traffic"):
+        report["live_traffic"] = bench_live_traffic(seed=seed)
     if only is not None:
         return report
 
@@ -866,6 +982,8 @@ def run_hotpaths(
             write_path["record_update"]["indexed_updates_per_second"],
         "write_path_index_overhead_pct":
             write_path["record_update"]["index_overhead_pct"],
+        "live_traffic_stw_over_scoped_p99_ratio":
+            report["live_traffic"]["stw_over_scoped_p99_ratio"],
     }
     return report
 
@@ -924,6 +1042,18 @@ def render_summary(report: Dict[str, object]) -> str:
                 f"keyspace {ycsb['keyspace']}) "
                 f"({ycsb['index_overhead_pct']:+.1f}% vs seed path)"
             )
+    lt = report.get("live_traffic")
+    if lt is not None:
+        scoped = lt["quarantine"]["during_mitigation"]
+        stw = lt["stop_the_world"]["during_mitigation"]
+        lines.append(
+            f"  serve:     during-mitigation p99 scoped "
+            f"{scoped['p99'] * 1000:.1f}ms vs stop-the-world "
+            f"{stw['p99'] * 1000:.1f}ms "
+            f"({lt['stw_over_scoped_p99_ratio']:.1f}x, "
+            f"{lt['quarantine']['quarantine']['stream_keys']} keys "
+            f"quarantined, digests identical)"
+        )
     mx = report.get("matrix")
     if mx is not None:
         lines.append(

@@ -148,6 +148,7 @@ def summarize_result(result: ExperimentResult) -> Dict[str, object]:
 #: (`duration_seconds` is the *simulated* clock and stays deterministic.)
 _WALL_CLOCK_FIELDS: Tuple[Tuple[str, str], ...] = (
     ("mitigation", "slicing_seconds"),
+    ("mitigation", "analysis_seconds"),
 )
 
 

@@ -185,6 +185,16 @@ class Machine:
         # host integration
         self.injections: Dict[int, List[InjectionFn]] = {}
         self.tracer: Optional[TraceFn] = None
+        #: cooperative yield point: when set, called every
+        #: ``step_hook_every`` executed steps, counted on the
+        #: machine-lifetime ``steps_executed`` counter so runs of many
+        #: short calls still yield (both engines, same accounting as
+        #: the budget check).  The live-traffic server parks mitigation
+        #: re-executions here so the event loop can serve between probe
+        #: steps.  Must not touch guest state.
+        self.step_hook: Optional[Callable[[], None]] = None
+        self.step_hook_every: int = 0
+        self._next_step_hook: int = 0
         #: optional dynamic-dependence recorder (repro.analysis.dynslice);
         #: called before every instruction when attached — expensive, so
         #: only diagnostic runs enable it
@@ -289,6 +299,15 @@ class Machine:
         thread.frames.append(Frame(func, regs, None))
         return thread
 
+    def _hook_prologue(self) -> Optional[Callable[[], None]]:
+        """Arm the step hook for a run; returns it (or ``None``)."""
+        hook = self.step_hook
+        if hook is None or self.step_hook_every <= 0:
+            return None
+        if self._next_step_hook <= self.steps_executed:
+            self._next_step_hook = self.steps_executed + self.step_hook_every
+        return hook
+
     def _run(
         self,
         threads: List[Thread],
@@ -312,6 +331,7 @@ class Machine:
         current = 0
         slice_left = self.rng.randint(*quantum) if preempt else 1 << 60
         steps = 0
+        hook = self._hook_prologue()
         while live:
             thread = live[current % len(live)]
             try:
@@ -328,6 +348,9 @@ class Machine:
                 )
                 self._record_fault(trap, thread)
                 raise trap
+            if hook is not None and self.steps_executed >= self._next_step_hook:
+                hook()
+                self._next_step_hook = self.steps_executed + self.step_hook_every
             if thread.done:
                 live = [t for t in live if not t.done]
                 current = 0
@@ -358,6 +381,7 @@ class Machine:
             return
         current = 0
         steps = 0
+        hook = self._hook_prologue()
         while live:
             thread = live[current % len(live)]
             frame = thread.frames[-1]
@@ -394,6 +418,11 @@ class Machine:
                 else:
                     steps += seg.n_steps
                     self.steps_executed += seg.n_steps
+                    if hook is not None and self.steps_executed >= self._next_step_hook:
+                        hook()
+                        self._next_step_hook = (
+                            self.steps_executed + self.step_hook_every
+                        )
                     continue
             try:
                 switch = self._step(thread)
@@ -409,6 +438,9 @@ class Machine:
                 )
                 self._record_fault(trap, thread)
                 raise trap
+            if hook is not None and self.steps_executed >= self._next_step_hook:
+                hook()
+                self._next_step_hook = self.steps_executed + self.step_hook_every
             if thread.done:
                 live = [t for t in live if not t.done]
                 current = 0

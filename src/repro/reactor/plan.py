@@ -121,13 +121,16 @@ def compute_plan(
     policy: Optional[PolicyFn] = None,
     max_slice_nodes: Optional[int] = None,
     slice_override: Optional[Set[int]] = None,
+    yield_fn: Optional[Callable[[], None]] = None,
 ) -> ReversionPlan:
     """Build the candidate list for one fault instruction.
 
     ``slice_override`` substitutes an externally computed slice (e.g. a
     *dynamic* slice from :mod:`repro.analysis.dynslice`) for the static
     backward slice; everything downstream (PM filtering, trace/log join,
-    policy ordering) is unchanged.
+    policy ordering) is unchanged.  ``yield_fn`` (when set) is invoked
+    once per PM slice node during the trace/log join so a live server
+    can keep serving while the plan is computed.
     """
     start = time.perf_counter()
     trace.flush()  # catch up on buffered records before joining
@@ -142,6 +145,8 @@ def compute_plan(
 
     candidates: List[Candidate] = []
     for iid in pm_nodes:
+        if yield_fn is not None:
+            yield_fn()
         guid = guid_map.guid_of(iid)
         if guid is None:
             continue

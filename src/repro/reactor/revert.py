@@ -206,6 +206,7 @@ class _SnapshotProbeEngine:
         restore_snapshot(self.r.pool, self.baseline, self.r.allocator)
         applied: List[int] = []
         for group in self.groups[:k]:
+            self.r._maybe_yield()
             for s in sorted(group, reverse=True):
                 if self.r.revert_update_seq(s, 1, guard_dangling=True):
                     applied.append(s)
@@ -251,6 +252,7 @@ class _DeltaProbeEngine:
         self._reexec_delta: Optional[_ProbeDelta] = None
 
     def _apply_group(self, group: List[int]) -> None:
+        self.r._maybe_yield()
         delta = _ProbeDelta(self.r.pool, self.r.allocator)
         seqs: List[int] = []
         for s in sorted(group, reverse=True):
@@ -261,6 +263,7 @@ class _DeltaProbeEngine:
         self.pos += 1
 
     def _undo_group(self) -> None:
+        self.r._maybe_yield()
         self.deltas.pop().undo()
         self.applied.pop()
         self.pos -= 1
@@ -325,6 +328,7 @@ class Reverter:
         known_faults: Optional[Set[int]] = None,
         enable_divergence_repair: bool = True,
         intents: Optional[IntentJournal] = None,
+        yield_fn: Optional[Callable[[], None]] = None,
     ):
         self.log = log
         self.pool = pool
@@ -348,8 +352,17 @@ class Reverter:
         #: write-ahead intent journal; when set, rollback cuts become
         #: resumable after a crash (see :class:`IntentJournal`)
         self.intents = intents
+        #: cooperative yield point for live serving: probe engines call
+        #: it per group apply/undo so long host-side seeks (delta
+        #: reversion, prefix rebuilds) park the same way long guest
+        #: calls do.  Must not touch the pool; ``None`` = run straight.
+        self.yield_fn = yield_fn
         #: clock reading when the current strategy started (see _begin)
         self._t0 = self.clock.now
+
+    def _maybe_yield(self) -> None:
+        if self.yield_fn is not None:
+            self.yield_fn()
 
     def _is_new_fault(self, outcome: RunOutcome) -> bool:
         return (

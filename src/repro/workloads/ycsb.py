@@ -8,18 +8,20 @@ custom all-insert benchmarks against the other three systems.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List
+from functools import lru_cache
+from typing import Iterator, List, Tuple
 
 from repro.workloads.generators import VALUE_BASE, Op, OpKind
 
 
-def zipf_keys(n: int, keyspace: int, theta: float, seed: int) -> List[int]:
-    """Draw ``n`` keys from a zipfian distribution over ``keyspace``.
+@lru_cache(maxsize=64)
+def _zipf_cdf(keyspace: int, theta: float) -> Tuple[float, ...]:
+    """Inverse-CDF table for a zipfian over ``keyspace`` ranks.
 
-    Uses the standard inverse-CDF construction (ranks weighted by
-    ``1/rank**theta``); theta=0 degenerates to uniform.
+    The table depends only on ``(keyspace, theta)``, never on the seed,
+    so it is cached: repeated ``run_ops`` batches and the sustained
+    serving stream stop paying the O(keyspace) float build per call.
     """
-    rng = random.Random(seed)
     weights = [1.0 / ((rank + 1) ** theta) for rank in range(keyspace)]
     total = sum(weights)
     cdf = []
@@ -27,6 +29,32 @@ def zipf_keys(n: int, keyspace: int, theta: float, seed: int) -> List[int]:
     for w in weights:
         acc += w / total
         cdf.append(acc)
+    return tuple(cdf)
+
+
+def zipf_keys(
+    n: int, keyspace: int, theta: float, seed: int, use_cache: bool = True
+) -> List[int]:
+    """Draw ``n`` keys from a zipfian distribution over ``keyspace``.
+
+    Uses the standard inverse-CDF construction (ranks weighted by
+    ``1/rank**theta``); theta=0 degenerates to uniform.  The CDF is
+    memoized per ``(keyspace, theta)``; ``use_cache=False`` rebuilds it
+    from scratch (the oracle path — draws must come out identical, which
+    ``bench_write_path.ycsb`` asserts on every run).
+    """
+    rng = random.Random(seed)
+    if use_cache:
+        cdf = _zipf_cdf(keyspace, theta)
+    else:
+        weights = [1.0 / ((rank + 1) ** theta) for rank in range(keyspace)]
+        total = sum(weights)
+        acc = 0.0
+        fresh = []
+        for w in weights:
+            acc += w / total
+            fresh.append(acc)
+        cdf = tuple(fresh)
 
     keys = []
     for _ in range(n):
