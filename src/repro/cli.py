@@ -5,15 +5,18 @@ Subcommands:
 * ``list-faults`` — the Table 2 registry.
 * ``study`` — the Section 2 empirical-study aggregates.
 * ``run`` — one (fault, solution) experiment with full reporting.
-* ``matrix`` — the 12-fault recoverability row for one solution
-  (``--jobs N`` fans the cells out over a process pool).
-* ``matrix-all`` — the full 12-fault x 4-solution sweep in parallel,
-  with a JSON report written under ``results/``.
+* ``matrix`` — the recoverability row for one solution over every
+  registered fault (``--jobs N`` fans cells out over a process pool).
+* ``matrix-all`` — the full fault x solution sweep in parallel, with
+  per-family recoverability and a JSON report under ``results/``.
 * ``analyze`` — static-analysis statistics for one target system.
 * ``bench-hotpaths`` — indexed-vs-linear-scan hot-path benchmark.
 * ``inject-sweep`` — crash/torn/bitflip injection at every enumerable
   site of the recovery pipeline; exits non-zero unless every cell ends
   verified-consistent.
+* ``fuzz-sweep`` — deterministic crash-consistency fuzzer over the
+  guest persistence layer; discovers, minimizes and registers new
+  fault-family scenarios (f13+) past the seeded Table-2 set.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.faults.study import (
     bugs_per_system,
     consequence_distribution,
     propagation_distribution,
+    reproduced_family_distribution,
     root_cause_distribution,
 )
 from repro.harness.experiment import (
@@ -65,6 +69,16 @@ def _cmd_study(_args) -> int:
     print()
     print(render_bars("Propagation (Section 2.6)",
                       propagation_distribution(), unit="%"))
+    print()
+    fam_rows = [
+        [family, stats["scenarios"], stats["systems"]]
+        for family, stats in reproduced_family_distribution().items()
+    ]
+    print(render_table(
+        "Reproduced fault families (seeded + fuzzer-discovered)",
+        ["family", "scenarios", "systems"],
+        fam_rows,
+    ))
     return 0
 
 
@@ -150,14 +164,18 @@ def _cmd_matrix_all(args) -> int:
         specs, jobs=args.jobs, cell_timeout=args.cell_timeout,
         progress=_progress_line,
     )
+    from repro.faults.registry import scenario_by_id
+
+    def _recovered(c) -> bool:
+        return bool(
+            c.ok and c.result().mitigation is not None
+            and c.result().mitigation.recovered
+        )
+
     rows = []
     for solution in SOLUTIONS:
         cells = [c for c in report.cells if c.spec.solution == solution]
-        recovered = sum(
-            1 for c in cells
-            if c.ok and (c.result().mitigation is not None
-                         and c.result().mitigation.recovered)
-        )
+        recovered = sum(1 for c in cells if _recovered(c))
         errors = sum(1 for c in cells if not c.ok)
         rows.append([solution, len(cells), recovered, errors])
     print(render_table(
@@ -166,6 +184,38 @@ def _cmd_matrix_all(args) -> int:
         ["solution", "cells", "recovered", "errors"],
         rows,
     ))
+    # per-family recoverability: the seeded table2 row vs the
+    # fuzzer-discovered families, per solution
+    families: List[str] = []
+    for cell in report.cells:
+        fam = scenario_by_id(cell.spec.fid).family
+        if fam not in families:
+            families.append(fam)
+    family_rows = []
+    family_json: dict = {}
+    for family in families:
+        fam_cells = [
+            c for c in report.cells
+            if scenario_by_id(c.spec.fid).family == family
+        ]
+        fids = sorted({c.spec.fid for c in fam_cells},
+                      key=lambda f: int(f[1:]))
+        row: List[object] = [family, len(fids)]
+        family_json[family] = {"faults": fids, "solutions": {}}
+        for solution in SOLUTIONS:
+            cells = [c for c in fam_cells if c.spec.solution == solution]
+            recovered = sum(1 for c in cells if _recovered(c))
+            row.append(f"{recovered}/{len(cells)}")
+            family_json[family]["solutions"][solution] = {
+                "cells": len(cells), "recovered": recovered,
+            }
+        family_rows.append(row)
+    print()
+    print(render_table(
+        "Recoverability by fault family (recovered/cells)",
+        ["family", "faults"] + list(SOLUTIONS),
+        family_rows,
+    ))
     if args.out != "-":
         payload = {
             "config": {
@@ -173,6 +223,7 @@ def _cmd_matrix_all(args) -> int:
                 "jobs": report.jobs,
                 "cell_timeout": args.cell_timeout,
             },
+            "families": family_json,
             "report": report.to_json(),
         }
         os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
@@ -325,6 +376,62 @@ def _cmd_inject_sweep(args) -> int:
     return 0 if report.all_verified else 1
 
 
+def _cmd_fuzz_sweep(args) -> int:
+    import json
+    import os
+
+    from repro.faults import fuzzed
+    from repro.harness.fuzz_sweep import (
+        QUICK_TRIALS,
+        check_against,
+        emit_registry,
+        run_fuzz_sweep,
+    )
+
+    systems = None
+    if args.systems:
+        systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    trials = QUICK_TRIALS if args.quick else args.trials
+
+    def progress(d) -> None:
+        print(f"  found [{d.family}/{d.phase}] {d.system}: {d.fault}",
+              file=sys.stderr)
+
+    report = run_fuzz_sweep(
+        systems=systems, trials=trials, sweep_seed=args.seed,
+        max_per_system=args.max_per_system, progress=progress,
+    )
+    print(report.summary())
+
+    if args.check:
+        if not os.path.exists(args.out):
+            print(f"drift check: no committed report at {args.out}",
+                  file=sys.stderr)
+            return 1
+        with open(args.out) as f:
+            committed = json.load(f)
+        problems = check_against(report, committed)
+        if problems:
+            for p in problems:
+                print(f"drift check: {p}", file=sys.stderr)
+            return 1
+        print(f"drift check: quick sweep matches {args.out}",
+              file=sys.stderr)
+        return 0
+
+    if args.out != "-":
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.emit_registry:
+        emit_registry(report.discoveries, fuzzed.__file__)
+        print(f"rewrote FUZZED_FAULT_SPECS in {fuzzed.__file__} "
+              f"({len(report.discoveries)} entries)", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -333,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-faults", help="list the 12 reproduced faults")
+    sub.add_parser("list-faults", help="list the registered fault scenarios")
     sub.add_parser("study", help="print the Section 2 study aggregates")
 
     run_p = sub.add_parser("run", help="run one fault/solution experiment")
@@ -351,7 +458,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="PMLang VM engine (table is the per-step "
                             "dispatch oracle)")
 
-    matrix_p = sub.add_parser("matrix", help="all 12 faults for one solution")
+    matrix_p = sub.add_parser("matrix",
+                              help="all registered faults for one solution")
     matrix_p.add_argument("--solution", default="arthas", choices=SOLUTIONS)
     matrix_p.add_argument("--seed", type=int, default=0)
     matrix_p.add_argument("--jobs", type=int, default=None,
@@ -362,7 +470,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     matrix_all_p = sub.add_parser(
         "matrix-all",
-        help="the full 12-fault x 4-solution sweep over a process pool",
+        help="the full fault x solution sweep over a process pool, "
+             "with per-family recoverability",
     )
     matrix_all_p.add_argument("--seeds", type=int, default=1,
                               help="run seeds 0..K-1 per cell (default 1)")
@@ -438,6 +547,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="one occurrence per site (CI smoke mode)")
     sweep_p.add_argument("--out", default="results/inject_sweep.json",
                          help="JSON report path ('-' to skip writing)")
+
+    fuzz_p = sub.add_parser(
+        "fuzz-sweep",
+        help="fuzz the guest persistence layer for new crash-consistency "
+             "and kernel-PM fault families; minimize and register finds",
+    )
+    fuzz_p.add_argument("--systems", default=None,
+                        help="comma-separated subset of systems to fuzz "
+                             "(default: all six)")
+    fuzz_p.add_argument("--trials", type=int, default=40,
+                        help="fuzz trials per system (default 40)")
+    fuzz_p.add_argument("--seed", type=int, default=2026,
+                        help="sweep seed; discoveries are deterministic "
+                             "per (seed, system, trial)")
+    fuzz_p.add_argument("--max-per-system", type=int, default=2,
+                        help="registered reproducers per system cap")
+    fuzz_p.add_argument("--quick", action="store_true",
+                        help="first 10 trials per system (CI smoke mode; "
+                             "a strict prefix of the full sweep)")
+    fuzz_p.add_argument("--check", action="store_true",
+                        help="drift check: compare this sweep's finds "
+                             "against the committed report at --out")
+    fuzz_p.add_argument("--emit-registry", action="store_true",
+                        help="rewrite the generated FUZZED_FAULT_SPECS "
+                             "block in faults/fuzzed.py")
+    fuzz_p.add_argument("--out", default="results/fuzz_sweep.json",
+                        help="JSON report path ('-' to skip writing)")
     return parser
 
 
@@ -454,6 +590,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-hotpaths": _cmd_bench_hotpaths,
         "serve-bench": _cmd_serve_bench,
         "inject-sweep": _cmd_inject_sweep,
+        "fuzz-sweep": _cmd_fuzz_sweep,
     }
     return handlers[args.command](args)
 

@@ -15,6 +15,7 @@ vector clocks define which other operations causally depend on them.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Type
 
@@ -24,8 +25,18 @@ from repro.systems.memcached import MemcachedAdapter
 VectorClock = Tuple[int, ...]
 
 
+def _check_dims(a: VectorClock, b: VectorClock) -> None:
+    # zip() would silently truncate the longer clock, turning a
+    # mixed-topology comparison into a wrong causality verdict
+    if len(a) != len(b):
+        raise ValueError(
+            f"vector clock dimension mismatch: {len(a)} vs {len(b)}"
+        )
+
+
 def vc_leq(a: VectorClock, b: VectorClock) -> bool:
     """Component-wise <= : a happened-before-or-equal b."""
+    _check_dims(a, b)
     return all(x <= y for x, y in zip(a, b))
 
 
@@ -35,6 +46,7 @@ def vc_less(a: VectorClock, b: VectorClock) -> bool:
 
 
 def vc_merge(a: VectorClock, b: VectorClock) -> VectorClock:
+    _check_dims(a, b)
     return tuple(max(x, y) for x, y in zip(a, b))
 
 
@@ -92,6 +104,7 @@ class Cluster:
         cvc = self._client_vc[client]
         cvc[client] += 1
         nvc = self._node_vc[node]
+        _check_dims(tuple(cvc), tuple(nvc))
         merged = [max(a, b) for a, b in zip(cvc, nvc)]
         merged[self.n_clients + node] += 1
         self._node_vc[node] = list(merged)
@@ -153,13 +166,26 @@ class Cluster:
         return [op for op in self.oplog if op.node == node_id]
 
     def ops_overlapping_seqs(self, node_id: int, seqs) -> List[OpRecord]:
-        """Operations on a node whose sequence span intersects ``seqs``."""
-        seqset = set(seqs)
-        return [
-            op
-            for op in self.ops_on_node(node_id)
-            if any(op.first_seq <= s <= op.last_seq for s in seqset)
-        ]
+        """Operations on a node whose sequence span intersects ``seqs``.
+
+        O((|ops| + |seqs|) log |seqs|): one sorted copy of ``seqs``,
+        then a bisect per op for the smallest reverted seq >= its span
+        start — instead of scanning every seq for every op.
+        """
+        ordered = sorted(set(seqs))
+        if not ordered:
+            return []
+        out = []
+        for op in self.ops_on_node(node_id):
+            if op.first_seq > op.last_seq:
+                # empty span: the operation wrote no checkpoint records
+                # (e.g. a delete of an absent key), so no reverted seq
+                # can discard it
+                continue
+            i = bisect_left(ordered, op.first_seq)
+            if i < len(ordered) and ordered[i] <= op.last_seq:
+                out.append(op)
+        return out
 
 
 class ClusterClient:

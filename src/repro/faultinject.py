@@ -15,16 +15,28 @@ module lets the harness *prove* the pipeline survives its own failures:
   run injects at exactly the same dynamic point) and **enumerable**
   (record mode counts every site occurrence, and
   :func:`enumerate_cells` expands the counts into the full sweep);
-* three fault kinds model the WITCHER / Linux-PM-study failure classes:
+* five fault kinds model the WITCHER / Linux-PM-study failure classes:
 
-  - ``crash``   — the process dies *before* the site's effect persists
-                  (:class:`~repro.errors.InjectedCrash` is raised at the
-                  site; un-fenced stores are lost when the harness calls
-                  ``pool.crash()``);
-  - ``torn``    — a fence persists only part of its staged lines, then
-                  the process dies (torn cache-line writeback);
-  - ``bitflip`` — one bit of a just-recorded checkpoint-log version is
-                  flipped (media corruption of checkpoint bytes).
+  - ``crash``      — the process dies *before* the site's effect persists
+                     (:class:`~repro.errors.InjectedCrash` is raised at
+                     the site; un-fenced stores are lost when the harness
+                     calls ``pool.crash()``);
+  - ``torn``       — a fence persists only part of its staged lines, then
+                     the process dies (torn cache-line writeback — the
+                     Linux-PM-study torn/alignment-update pattern);
+  - ``bitflip``    — one bit of a just-recorded checkpoint-log version is
+                     flipped (media corruption of checkpoint bytes);
+  - ``skip-flush`` — a flush (``clwb``) is silently elided: the range is
+                     never staged for writeback, modelling the program
+                     *missing* the flush call (WITCHER's missing-flush
+                     bug class).  The store stays in the write buffer,
+                     reads still see it, and the next power loss drops
+                     it even though the program believed it durable;
+  - ``skip-fence`` — a fence (``sfence``) is silently elided: staged
+                     lines stay staged and persist hooks do not fire, so
+                     the ordering the program relied on between the
+                     writes before and after the fence is lost
+                     (WITCHER's persist-ordering bug class).
 
 ``fire`` is a no-op (one module-attribute load and a None check) when no
 plan is active, so production paths pay nothing.
@@ -55,16 +67,36 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InjectedCrash
 
 #: the supported fault kinds
-KINDS = ("crash", "torn", "bitflip")
+KINDS = ("crash", "torn", "bitflip", "skip-flush", "skip-fence")
+
+#: kinds the crash-consistency fuzzer injects into *guest* persistence
+#: (the recovery-pipeline sweep keeps using crash/torn/bitflip)
+FUZZ_KINDS = ("crash", "torn", "skip-flush", "skip-fence")
+
+#: site families the fuzzer targets — the guest-visible persistence
+#: boundaries only, so occurrence counts are identical whatever recovery
+#: solution (checkpointing or not) is attached to the run
+FUZZ_SITES = ("pmem.flush", "pmem.fence")
 
 #: kinds that only make sense at specific site families
 _TORN_SITES = ("pmem.fence",)
 _BITFLIP_SITES = ("ckpt.record_update",)
+_SKIP_FLUSH_SITES = (
+    "pmem.flush",
+    "pmem.api.pmem_flush",
+    "pmem.api.pmem_persist",
+    "pmem.api.pmem_memcpy_persist",
+)
+_SKIP_FENCE_SITES = (
+    "pmem.fence",
+    "pmem.api.pmem_drain",
+    "pmem.api.pmem_persist",
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -91,11 +123,29 @@ class InjectionPlan:
     Every spec is one-shot: a site occurrence passes its counter exactly
     once, so a retry of the crashed step proceeds clean — which is
     exactly the fail-once/recover-after model the sweep verifies.
+
+    A ``(site, occurrence)`` pair can fire at most one spec, so plans
+    holding two specs for the same pair are rejected at construction —
+    the second spec could never fire, which would silently pin
+    :attr:`all_fired` to False and starve the fuzzer of its coverage
+    signal.  :meth:`observe` *consumes* the matched spec, making
+    ``all_fired`` exactly "every planned injection happened".
     """
 
     def __init__(self, specs: Iterable[InjectionSpec] = (), record: bool = False):
         self.specs: List[InjectionSpec] = list(specs)
         self.record = record
+        #: (site, occurrence) -> spec not yet fired; observe() consumes
+        self._pending: Dict[Tuple[str, int], InjectionSpec] = {}
+        for spec in self.specs:
+            key = (spec.site, spec.occurrence)
+            if key in self._pending:
+                raise ValueError(
+                    f"duplicate injection spec at {spec.site}"
+                    f"#{spec.occurrence}: a site occurrence can fire at "
+                    f"most one spec, so the duplicate could never fire"
+                )
+            self._pending[key] = spec
         #: site -> number of times it fired under this plan
         self.counts: Dict[str, int] = {}
         #: specs that actually injected
@@ -107,15 +157,16 @@ class InjectionPlan:
         self.counts[site] = n
         if self.record:
             return None
-        for spec in self.specs:
-            if spec.site == site and spec.occurrence == n:
-                self.fired.append(spec)
-                return spec
-        return None
+        spec = self._pending.pop((site, n), None)
+        if spec is not None:
+            self.fired.append(spec)
+        return spec
 
     @property
     def all_fired(self) -> bool:
-        return len(self.fired) >= len(self.specs)
+        """Every planned spec fired — a sound coverage signal now that
+        ``observe`` consumes specs and duplicates are rejected."""
+        return not self._pending
 
 
 #: the currently armed plan (None = injection disabled, zero-cost path)
@@ -185,6 +236,10 @@ def kind_applies(site: str, kind: str) -> bool:
         return any(site.startswith(f) for f in _TORN_SITES)
     if kind == "bitflip":
         return any(site.startswith(f) for f in _BITFLIP_SITES)
+    if kind == "skip-flush":
+        return any(site.startswith(f) for f in _SKIP_FLUSH_SITES)
+    if kind == "skip-fence":
+        return any(site.startswith(f) for f in _SKIP_FENCE_SITES)
     return False
 
 

@@ -1,0 +1,416 @@
+"""Fuzzer-discovered fault families beyond the seeded Table-2 set.
+
+The f1–f12 scenarios in :mod:`repro.faults.registry` are hand-written
+reproductions of the paper's studied bugs.  This module holds the fault
+families the *fuzzer* (:mod:`repro.harness.fuzz_sweep`) discovers by
+perturbing the guest-visible persistence boundaries — the same failure
+classes the follow-up literature catalogues:
+
+* ``crash-consistency`` — WITCHER-style missing-flush (``skip-flush``)
+  and persist-ordering (``skip-fence``) bugs: the program believes a
+  store durable, the simulated CPU write buffer still holds it, and the
+  next power loss silently drops it.  Detected by the likely-invariant
+  probe :func:`repro.pmem.persist.probe_persistence` — a quiescent guest
+  must leave nothing at risk in the write buffer.
+* ``kernel-pm`` — the Linux-kernel PM-issue patterns: torn/alignment
+  updates (a fence persists only part of its staged cache lines) and
+  initialization races (a fault landing inside the restart/recovery
+  window, where repair writes are themselves not yet durable).
+
+Every entry is a :class:`FuzzedScenario`: a *self-contained* reproducer
+that arms its own :class:`~repro.faultinject.InjectionPlan` around a
+fixed insert window in a dedicated keyspace, power-cycles the system,
+and reports as victims the acknowledged keys the recovery no longer
+serves.  The scenario recomputes its victims on every run, so the same
+registry entry behaves identically under every solution column of the
+evaluation matrix.
+
+``FUZZED_FAULT_SPECS`` between the BEGIN/END markers is *generated* by
+``python -m repro fuzz-sweep --emit-registry`` — edit the fuzzer, not
+the block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import faultinject
+from repro.errors import Trap
+from repro.faults.registry import FaultScenario
+from repro.pmem.persist import probe_persistence
+from repro.workloads.generators import VALUE_BASE
+
+FAMILY_CRASH_CONSISTENCY = "crash-consistency"
+FAMILY_KERNEL_PM = "kernel-pm"
+FUZZ_FAMILIES = (FAMILY_CRASH_CONSISTENCY, FAMILY_KERNEL_PM)
+
+#: the fuzz window: a burst of inserts in a dedicated keyspace far above
+#: the mixed workload (small ints) and the consistency probe (9M+).  The
+#: stride keeps every key in one hash-bucket class, concentrating
+#: pressure on a single chain/bucket so partial persists leave dangling
+#: links rather than diffuse noise.
+FUZZ_KEY0 = 5_000_000
+FUZZ_STRIDE = 64
+FUZZ_WINDOW_OPS = 30
+
+#: power-loss/recovery cycles run *inside* the armed window after the
+#: insert burst — injection sites firing there perturb the recovery path
+#: itself (the initialization-race region)
+FUZZ_REBOOT_CYCLES = 2
+
+
+class FuzzedScenario(FaultScenario):
+    """One fuzzer-discovered injection reproducer.
+
+    ``trigger`` arms the spec plan around the fuzz window (insert burst,
+    then reboot cycles), ends with a clean power loss + recovery, and
+    diffs the acknowledged keys against what the system still serves.
+    Keys in ``baseline`` are losses the *clean* window already exhibits
+    (e.g. level-hash bucket evictions) and are never counted as victims.
+
+    The manifestation is in-guest — ``check_key`` traps on a missing
+    victim, a recovery that traps recurs when re-run — so the detector
+    obtains a fault instruction and Arthas can slice from it, exactly as
+    for the seeded scenarios.
+    """
+
+    kind = "dataloss"
+    family = FAMILY_CRASH_CONSISTENCY
+    pre_ops = 120
+    post_ops = 90
+
+    def __init__(
+        self,
+        fid: str,
+        system: str,
+        specs: Sequence[Tuple[str, int, str, int]],
+        family: str = FAMILY_CRASH_CONSISTENCY,
+        phase: str = "steady",
+        kind: str = "dataloss",
+        fault: str = "",
+        consequence: str = "Data loss",
+        baseline: Sequence[int] = (),
+        record: bool = False,
+    ):
+        self.fid = fid
+        self.system = system
+        self.specs: Tuple[Tuple[str, int, str, int], ...] = tuple(
+            (str(s[0]), int(s[1]), str(s[2]), int(s[3])) for s in specs
+        )
+        self.family = family
+        self.phase = phase
+        self.kind = kind
+        self.fault = fault or self.default_fault_label()
+        self.consequence = consequence
+        self.baseline = frozenset(int(k) for k in baseline)
+        self.record = record
+        # --- probe telemetry, overwritten by every trigger() run ------
+        #: site -> firing count over the whole armed window
+        self.last_counts: Dict[str, int] = {}
+        #: site -> firing count up to the end of the insert burst (the
+        #: steady region); occurrences beyond this are the init region
+        self.last_steady_counts: Dict[str, int] = {}
+        self.last_fired: List[str] = []
+        self.last_all_fired = False
+        #: key -> "missing" | "wrong" | "trap" (baseline subtracted)
+        self.last_victims: Dict[int, str] = {}
+        #: raw victims including baseline losses
+        self.last_raw_victims: Dict[int, str] = {}
+        #: trap kind when the post-window recovery itself failed
+        self.last_recover_trap: Optional[str] = None
+        self.last_acked = 0
+        #: write-buffer invariant probe at guest quiescence
+        self.last_probe: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def default_fault_label(self) -> str:
+        return "fuzzed: " + "+".join(
+            f"{site}#{occ}:{kind}" for site, occ, kind, _seed in self.specs
+        ) or "fuzz probe"
+
+    def _reboot(self, adapter) -> Optional[str]:
+        """Power loss + restart + recovery; returns the trap kind when
+        the recovery itself fails (a one-shot injected crash included)."""
+        try:
+            adapter.restart()
+        except Trap:  # pragma: no cover - restart is host-side
+            return "restart-trap"
+        try:
+            adapter.recover()
+        except Trap as exc:
+            fault = adapter.machine.last_fault
+            if fault is not None:
+                return fault.kind
+            return type(exc).__name__
+        return None
+
+    # ------------------------------------------------------------------
+    def trigger(self, ctx) -> None:
+        adapter = ctx.adapter
+        if self.record:
+            plan = faultinject.InjectionPlan(record=True)
+        else:
+            plan = faultinject.InjectionPlan(
+                [faultinject.InjectionSpec(site, occ, kind, seed=seed)
+                 for site, occ, kind, seed in self.specs]
+            )
+        acked: Dict[int, int] = {}
+        with faultinject.activate(plan):
+            # steady region: the insert burst the program believes durable
+            for i in range(FUZZ_WINDOW_OPS):
+                key = FUZZ_KEY0 + i * FUZZ_STRIDE
+                value = VALUE_BASE + key
+                try:
+                    ret = adapter.insert(key, value)
+                except Trap:
+                    self._reboot(adapter)
+                    continue
+                if ret is None or ret == 1:
+                    acked[key] = value
+            self.last_steady_counts = dict(plan.counts)
+            # WITCHER likely-invariant probe: the guest is quiescent and
+            # believes everything durable — words still in the write
+            # buffer are exactly the missing-flush / unordered persists
+            probe = probe_persistence(adapter.pool)
+            self.last_probe = {
+                "at_risk_words": probe.at_risk_words,
+                "unflushed_words": probe.unflushed_words,
+                "staged_lines": probe.staged_lines,
+                "pending_ranges": probe.pending_ranges,
+                "consistent": probe.consistent,
+            }
+            # init region: power-loss/recovery cycles under the armed
+            # plan — specs firing here hit the recovery path itself
+            for _ in range(FUZZ_REBOOT_CYCLES):
+                self._reboot(adapter)
+        self.last_counts = dict(plan.counts)
+        self.last_fired = [s.label() for s in plan.fired]
+        self.last_all_fired = plan.all_fired
+        self.last_acked = len(acked)
+
+        # observation power loss: what does a clean recovery still serve?
+        recover_trap = self._reboot(adapter)
+        raw: Dict[int, str] = {}
+        if recover_trap is None:
+            for key in sorted(acked):
+                try:
+                    got = adapter.lookup(key)
+                except Trap:
+                    raw[key] = "trap"
+                    if self._reboot(adapter) is not None:
+                        recover_trap = "recover-trap"
+                        break
+                    continue
+                if got == -1:
+                    raw[key] = "missing"
+                elif got != acked[key]:
+                    raw[key] = "wrong"
+        victims = {k: how for k, how in raw.items() if k not in self.baseline}
+        self.last_raw_victims = raw
+        self.last_victims = dict(victims)
+        self.last_recover_trap = recover_trap
+
+        ctx.state["acked"] = acked
+        ctx.state["victims"] = victims
+        ctx.state["recover_trap"] = recover_trap
+        hi = FUZZ_KEY0 + FUZZ_WINDOW_OPS * FUZZ_STRIDE
+        ctx.state["exclude"] = lambda k: FUZZ_KEY0 <= k < hi
+
+    # ------------------------------------------------------------------
+    def manifest(self, ctx) -> None:
+        if ctx.state.get("recover_trap"):
+            # the durable damage makes recovery itself fail; re-running
+            # it recurs in-guest, handing the detector a fault instruction
+            ctx.adapter.restart()
+            ctx.adapter.recover()
+        for key, how in sorted(ctx.state.get("victims", {}).items()):
+            if how in ("missing", "trap"):
+                ctx.adapter.check_key(key)
+
+    def verify(self, ctx) -> None:
+        # reexec restarted and re-ran recovery before calling us, so a
+        # recovery that still traps never reaches this point.  Victims
+        # must now be *consistent*: served with the acknowledged value or
+        # cleanly absent (discarded by the reversion) — garbage values
+        # and lookup traps keep the fault alive.
+        acked = ctx.state.get("acked", {})
+        for key in sorted(ctx.state.get("victims", {})):
+            got = ctx.adapter.lookup(key)
+            assert got in (-1, acked.get(key)), (
+                f"fuzz victim {key} served garbage {got}"
+            )
+        for key in ctx.sample_keys(3):
+            ctx.adapter.check_key(key)
+
+    def extra_consistency(self, ctx) -> List[str]:
+        # the damaged bucket class must accept fresh inserts again
+        key = FUZZ_KEY0 + (FUZZ_WINDOW_OPS + 3) * FUZZ_STRIDE
+        try:
+            ctx.adapter.insert(key, VALUE_BASE + key)
+            if ctx.adapter.lookup(key) != VALUE_BASE + key:
+                return ["fuzz bucket class rejects new inserts after recovery"]
+        except Trap:
+            return ["insert into fuzz bucket class traps after recovery"]
+        return []
+
+
+# ----------------------------------------------------------------------
+# generated registry entries
+# ----------------------------------------------------------------------
+# --- BEGIN FUZZED FAULT SPECS (generated by `repro fuzz-sweep --emit-registry`) ---
+FUZZED_FAULT_SPECS: List[Dict[str, object]] = [
+    {
+        "fid": 'f13',
+        "system": 'cceh',
+        "family": 'crash-consistency',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'untimely crash at pmem.flush#298 + elided fence at pmem.fence#124; 1 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.flush', 298, 'crash', 225], ['pmem.fence', 124, 'skip-fence', 157]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f14',
+        "system": 'cceh',
+        "family": 'crash-consistency',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'elided fence at pmem.fence#125; invariant: 4 word(s) at risk in the write buffer at quiescence; 1 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.fence', 125, 'skip-fence', 919]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f15',
+        "system": 'levelhash',
+        "family": 'kernel-pm',
+        "phase": 'mixed',
+        "kind": 'dataloss',
+        "fault": 'torn fence at pmem.fence#60 + untimely crash at pmem.fence#235 (recovery path); 3 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.fence', 60, 'torn', 814], ['pmem.fence', 235, 'crash', 37]],
+        "baseline": [5000064, 5000128, 5000448, 5000512, 5000704, 5000768, 5000832, 5000896],
+    },
+    {
+        "fid": 'f16',
+        "system": 'levelhash',
+        "family": 'crash-consistency',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'missing flush at pmem.flush#242; invariant: 3 word(s) at risk in the write buffer at quiescence; 1 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.flush', 242, 'skip-flush', 254]],
+        "baseline": [5000064, 5000128, 5000448, 5000512, 5000704, 5000768, 5000832, 5000896],
+    },
+    {
+        "fid": 'f17',
+        "system": 'memcached',
+        "family": 'kernel-pm',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'torn fence at pmem.fence#24; 11 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.fence', 24, 'torn', 526]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f18',
+        "system": 'memcached',
+        "family": 'crash-consistency',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'missing flush at pmem.flush#384; invariant: 6 word(s) at risk in the write buffer at quiescence; 12 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.flush', 384, 'skip-flush', 494]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f19',
+        "system": 'pelikan',
+        "family": 'kernel-pm',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'untimely crash at pmem.fence#36 + torn fence at pmem.fence#90; 28 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.fence', 36, 'crash', 884], ['pmem.fence', 90, 'torn', 43]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f20',
+        "system": 'pelikan',
+        "family": 'kernel-pm',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'torn fence at pmem.fence#70; 23 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.fence', 70, 'torn', 867]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f21',
+        "system": 'pmemkv',
+        "family": 'kernel-pm',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'untimely crash at pmem.fence#20 + torn fence at pmem.fence#29; 26 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.fence', 20, 'crash', 959], ['pmem.fence', 29, 'torn', 36]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f22',
+        "system": 'pmemkv',
+        "family": 'crash-consistency',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'missing flush at pmem.flush#64; invariant: 2 word(s) at risk in the write buffer at quiescence; 1 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.flush', 64, 'skip-flush', 120]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f23',
+        "system": 'redis',
+        "family": 'crash-consistency',
+        "phase": 'steady',
+        "kind": 'trap',
+        "fault": 'missing flush at pmem.flush#52; invariant: 2 word(s) at risk in the write buffer at quiescence; 1 acked key(s) lost at power loss',
+        "consequence": 'Lookup crash',
+        "specs": [['pmem.flush', 52, 'skip-flush', 131]],
+        "baseline": [],
+    },
+    {
+        "fid": 'f24',
+        "system": 'redis',
+        "family": 'crash-consistency',
+        "phase": 'steady',
+        "kind": 'dataloss',
+        "fault": 'elided fence at pmem.fence#90; invariant: 5 word(s) at risk in the write buffer at quiescence; 1 acked key(s) lost at power loss',
+        "consequence": 'Data loss',
+        "specs": [['pmem.fence', 90, 'skip-fence', 283]],
+        "baseline": [],
+    },
+]
+# --- END FUZZED FAULT SPECS ---
+
+
+def build_fuzzed_scenarios() -> List[FuzzedScenario]:
+    """The registered fuzzer discoveries, in fid order."""
+    out: List[FuzzedScenario] = []
+    for entry in FUZZED_FAULT_SPECS:
+        out.append(
+            FuzzedScenario(
+                fid=str(entry["fid"]),
+                system=str(entry["system"]),
+                specs=[tuple(s) for s in entry["specs"]],
+                family=str(entry["family"]),
+                phase=str(entry["phase"]),
+                kind=str(entry["kind"]),
+                fault=str(entry["fault"]),
+                consequence=str(entry["consequence"]),
+                baseline=entry.get("baseline", ()),
+            )
+        )
+    out.sort(key=lambda s: int(s.fid[1:]))
+    return out

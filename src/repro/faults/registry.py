@@ -35,6 +35,10 @@ class FaultScenario:
     system = "none"
     fault = ""
     consequence = ""
+    #: fault family: the seeded Table-2 reproductions are "table2"; the
+    #: fuzzer registers "crash-consistency" and "kernel-pm" entries
+    #: (see :mod:`repro.faults.fuzzed`)
+    family = "table2"
     #: "trap" (crash/hang/panic), "dataloss" (failed checks) or "leak"
     kind = "trap"
     checksum_detectable = False
@@ -580,7 +584,8 @@ class F12AsyncLazyFree(FaultScenario):
             ctx.adapter.check_key(key)
 
 
-ALL_SCENARIOS: List[FaultScenario] = [
+#: the hand-written Table-2 reproductions
+TABLE2_SCENARIOS: List[FaultScenario] = [
     F1RefcountOverflow(),
     F2FlushAllLogic(),
     F3HashtableRace(),
@@ -595,8 +600,23 @@ ALL_SCENARIOS: List[FaultScenario] = [
     F12AsyncLazyFree(),
 ]
 
+# imported here, after FaultScenario exists, because fuzzed.py subclasses
+# it (deliberate late import to close the module cycle)
+from repro.faults.fuzzed import build_fuzzed_scenarios  # noqa: E402
+
+#: every registered scenario: Table 2 plus the fuzzer discoveries (f13+)
+ALL_SCENARIOS: List[FaultScenario] = TABLE2_SCENARIOS + build_fuzzed_scenarios()
+
 _BY_ID: Dict[str, FaultScenario] = {s.fid: s for s in ALL_SCENARIOS}
 
 
 def scenario_by_id(fid: str) -> FaultScenario:
     return _BY_ID[fid]
+
+
+def scenarios_by_family() -> Dict[str, List[FaultScenario]]:
+    """Registered scenarios grouped by fault family, fid-ordered."""
+    out: Dict[str, List[FaultScenario]] = {}
+    for scenario in ALL_SCENARIOS:
+        out.setdefault(scenario.family, []).append(scenario)
+    return out

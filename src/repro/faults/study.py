@@ -153,3 +153,22 @@ def propagation_distribution() -> Dict[str, float]:
     counter: Counter = Counter(b.propagation for b in STUDY_BUGS)
     total = len(STUDY_BUGS)
     return {f"Type {t}": 100.0 * n / total for t, n in sorted(counter.items())}
+
+
+def reproduced_family_distribution() -> Dict[str, Dict[str, int]]:
+    """How the *reproduced* registry extends the studied failure space.
+
+    The study's 28 bugs are all application-level hard faults; the
+    fuzzer-discovered families (crash-consistency, kernel-pm) add the
+    persistence-layer classes the follow-up literature catalogues.
+    Returns family -> {"scenarios": n, "systems": distinct systems}.
+    """
+    from repro.faults.registry import scenarios_by_family
+
+    return {
+        family: {
+            "scenarios": len(scenarios),
+            "systems": len({s.system for s in scenarios}),
+        }
+        for family, scenarios in scenarios_by_family().items()
+    }

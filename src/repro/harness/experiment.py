@@ -12,9 +12,8 @@ Solutions:
 * ``arthas``     — Arthas in purge mode (the default in the paper)
 * ``arthas-rb``  — Arthas in conservative rollback mode
 * ``arthas-bi``  — Arthas in binary-search (bisect) mode, riding the
-  incremental probe engine; falls back to rollback.  Not part of the
-  default evaluation matrix (``SOLUTIONS``) — accepted by
-  ``run_experiment`` for the probe-engine equivalence suite and the CLI
+  incremental probe engine; falls back to rollback.  First-class matrix
+  column since the fault study grew past f1–f12
 * ``pmcriu``     — CRIU + PM pool dumps, 1-minute snapshot interval
 * ``arckpt``     — the checkpoint log without the analyzer
 """
@@ -47,10 +46,10 @@ from repro.reactor.revert import IntentJournal, MitigationResult, Reverter
 from repro.reactor.server import ReactorServer
 from repro.workloads.generators import MixedWorkload
 
-SOLUTIONS = ("arthas", "arthas-rb", "pmcriu", "arckpt")
+SOLUTIONS = ("arthas", "arthas-rb", "arthas-bi", "pmcriu", "arckpt")
 
-#: accepted by ``run_experiment`` but excluded from the default matrix
-EXTRA_SOLUTIONS = ("arthas-bi",)
+#: kept for extension points; every known solution is first-class today
+EXTRA_SOLUTIONS = ()
 
 #: Arthas solution name -> primary Reverter strategy
 _ARTHAS_MODES = {"arthas": "purge", "arthas-rb": "rollback", "arthas-bi": "bisect"}
@@ -166,7 +165,7 @@ class ExperimentResult:
 
 # ----------------------------------------------------------------------
 def run_experiment(
-    fid: str,
+    fid,
     solution: str,
     seed: int = 0,
     batch_size: int = 1,
@@ -191,13 +190,21 @@ def run_experiment(
     verification (poolcheck, checksum scan, pool digest).  An
     ``inject_plan`` is armed *only* around the mitigation phase — the
     sweep probes recovery's own crash-safety, not the workload's.
+
+    ``fid`` may be a registered fault id *or* a :class:`FaultScenario`
+    instance — the fuzzer probes candidate scenarios through the exact
+    pipeline they will face once registered.
     """
     if solution not in SOLUTIONS and solution not in EXTRA_SOLUTIONS:
         raise ValueError(
             f"unknown solution {solution!r}; pick from "
             f"{SOLUTIONS + EXTRA_SOLUTIONS}"
         )
-    scenario = scenario_by_id(fid)
+    if isinstance(fid, FaultScenario):
+        scenario = fid
+        fid = scenario.fid
+    else:
+        scenario = scenario_by_id(fid)
     arthas_like = solution in _ARTHAS_MODES
     adapter = scenario.adapter_cls()(
         seed=seed,

@@ -1,0 +1,482 @@
+"""Deterministic crash-consistency fuzzer over the guest persistence layer.
+
+The seeded f1–f12 scenarios reproduce *known* bugs; this module grows
+the study by *discovering* new ones.  It perturbs the guest-visible
+persistence boundaries (``pmem.flush`` / ``pmem.fence`` — chosen because
+their firing counts are identical whatever recovery solution is
+attached, so a discovered reproducer behaves the same in every matrix
+column) with randomized site x kind x occurrence plans:
+
+1. **count** — run a record-mode :class:`FuzzedScenario` through
+   ``run_experiment(detect_only=True)`` per system: site firing counts
+   for the fuzz window (split into the steady insert burst and the
+   reboot-cycle init region) plus the window's *baseline* losses (keys a
+   clean run already fails to serve, e.g. level-hash bucket evictions);
+2. **fuzz** — deterministic trials (seeded per ``(sweep_seed, system,
+   trial)``, so a ``--quick`` sweep is a strict prefix of the full one)
+   draw 1–3 specs biased toward the window tail and probe them through
+   the same detect-only pipeline; a candidate counts when the failure
+   manifests in-guest (the detector needs a fault instruction);
+3. **minimize** — symptom-preserving delta debugging: the smallest spec
+   subset (singles, then pairs) reproducing the *same* victim set and
+   recovery-trap signature becomes the reproducer;
+4. **register** — deduplicated discoveries (per-system cap) become
+   ``FUZZED_FAULT_SPECS`` entries (``--emit-registry`` rewrites the
+   generated block in :mod:`repro.faults.fuzzed`), classified into the
+   two new families:
+
+   * ``crash-consistency`` — ``skip-flush`` / ``skip-fence`` in the
+     steady region (WITCHER's missing-flush / persist-ordering classes,
+     corroborated by the quiescence invariant probe);
+   * ``kernel-pm`` — ``torn`` fences (torn/alignment updates) and any
+     spec landing in the init region (initialization races).
+
+``python -m repro fuzz-sweep`` drives this; ``--check`` verifies a fresh
+quick sweep against the committed report (CI drift contract).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faultinject import FUZZ_KINDS, FUZZ_SITES, kind_applies
+from repro.faults.fuzzed import (
+    FAMILY_CRASH_CONSISTENCY,
+    FAMILY_KERNEL_PM,
+    FuzzedScenario,
+)
+from repro.faults.registry import TABLE2_SCENARIOS
+from repro.harness.experiment import run_experiment
+from repro.systems import ALL_ADAPTERS
+
+#: first fid the fuzzer may assign (right after the seeded scenarios)
+FIRST_FUZZ_FID = len(TABLE2_SCENARIOS) + 1
+
+DEFAULT_SWEEP_SEED = 2026
+DEFAULT_TRIALS = 40
+QUICK_TRIALS = 10
+DEFAULT_MAX_PER_SYSTEM = 2
+
+#: probe solution: tracing + checkpointing attached, like any arthas run
+PROBE_SOLUTION = "arthas"
+
+Spec = Tuple[str, int, str, int]
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Discovery:
+    """One registered fuzzer discovery."""
+
+    fid: str
+    system: str
+    family: str
+    phase: str
+    kind: str
+    fault: str
+    consequence: str
+    specs: List[Spec]
+    baseline: List[int]
+    trial: int
+    minimized_from: int
+    victims: Dict[int, str] = field(default_factory=dict)
+    recover_trap: Optional[str] = None
+    invariant: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def signature(self) -> str:
+        """Registry dedup / drift-check identity (fid-independent).
+
+        Deliberately occurrence-free: two torn fences at different
+        offsets of the same window are the *same* failure shape, and
+        deduping them keeps the per-system cap buying family diversity
+        instead of near-duplicates.
+        """
+        parts = "+".join(
+            sorted(f"{site}:{kind}" for site, _occ, kind, _ in self.specs)
+        )
+        return f"{self.system}|{self.phase}|{parts}"
+
+    def to_json(self) -> dict:
+        return {
+            "fid": self.fid,
+            "system": self.system,
+            "family": self.family,
+            "phase": self.phase,
+            "kind": self.kind,
+            "fault": self.fault,
+            "consequence": self.consequence,
+            "specs": [list(s) for s in self.specs],
+            "baseline": list(self.baseline),
+            "trial": self.trial,
+            "minimized_from": self.minimized_from,
+            "victims": {str(k): v for k, v in sorted(self.victims.items())},
+            "recover_trap": self.recover_trap,
+            "invariant": dict(self.invariant),
+            "signature": self.signature,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one sweep."""
+
+    sweep_seed: int
+    trials_per_system: int
+    max_per_system: int
+    systems: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    discoveries: List[Discovery] = field(default_factory=list)
+    probes: int = 0
+    wall_seconds: float = 0.0
+
+    def quick_signatures(self, quick_trials: int = QUICK_TRIALS) -> List[str]:
+        """Signatures discoverable within the first ``quick_trials``
+        trials — what a ``--quick`` sweep must reproduce exactly."""
+        return [d.signature for d in self.discoveries if d.trial < quick_trials]
+
+    def to_json(self) -> dict:
+        by_family: Dict[str, int] = {}
+        for d in self.discoveries:
+            by_family[d.family] = by_family.get(d.family, 0) + 1
+        return {
+            "sweep_seed": self.sweep_seed,
+            "trials_per_system": self.trials_per_system,
+            "max_per_system": self.max_per_system,
+            "probes": self.probes,
+            "wall_seconds": round(self.wall_seconds, 2),
+            "systems": {k: self.systems[k] for k in sorted(self.systems)},
+            "discovered": len(self.discoveries),
+            "by_family": {k: by_family[k] for k in sorted(by_family)},
+            "quick_trials": QUICK_TRIALS,
+            "quick_signatures": self.quick_signatures(),
+            "entries": [d.to_json() for d in self.discoveries],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz-sweep: {len(self.discoveries)} reproducers registered "
+            f"from {self.probes} probes over {len(self.systems)} systems "
+            f"({self.wall_seconds:.1f}s wall)"
+        ]
+        for d in self.discoveries:
+            lines.append(
+                f"  {d.fid} [{d.family}/{d.phase}] {d.system}: {d.fault}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# probing
+# ----------------------------------------------------------------------
+def probe_scenario(scenario: FuzzedScenario) -> bool:
+    """Run the candidate through the real experiment pipeline (phase A +
+    trigger + detection); True when the failure manifests *in-guest*."""
+    result = run_experiment(scenario, PROBE_SOLUTION, detect_only=True)
+    if not result.manifested or result.detection_fault is None:
+        return False
+    # the detector needs missing/trap victims (or a trapping recovery) —
+    # wrong-value-only candidates cannot hand it a fault instruction
+    return bool(
+        scenario.last_recover_trap
+        or any(h in ("missing", "trap") for h in scenario.last_victims.values())
+    )
+
+
+def _symptom(scenario: FuzzedScenario) -> Tuple:
+    return (
+        scenario.last_recover_trap,
+        tuple(sorted(scenario.last_victims.items())),
+    )
+
+
+def record_window(system: str) -> FuzzedScenario:
+    """Record-mode probe: window site counts + baseline losses."""
+    scenario = FuzzedScenario("fx", system, [], record=True)
+    run_experiment(scenario, PROBE_SOLUTION, detect_only=True)
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# trial generation
+# ----------------------------------------------------------------------
+def _draw_specs(rng: random.Random, counts: Dict[str, int]) -> List[Spec]:
+    """1–3 distinct (site, occurrence) specs, biased toward the window
+    tail (where unrepaired skips survive to the power loss)."""
+    r = rng.random()
+    n = 1 if r < 0.55 else (2 if r < 0.85 else 3)
+    specs: List[Spec] = []
+    used = set()
+    for _ in range(n * 4):
+        if len(specs) >= n:
+            break
+        site = rng.choice([s for s in FUZZ_SITES if counts.get(s, 0) > 0])
+        count = counts[site]
+        if rng.random() < 0.5:
+            occ = rng.randint(1, count)
+        else:
+            occ = max(1, count - rng.randint(0, 4))
+        if (site, occ) in used:
+            continue
+        used.add((site, occ))
+        kinds = [k for k in FUZZ_KINDS if kind_applies(site, k)]
+        kind = rng.choice(kinds)
+        specs.append((site, occ, kind, rng.randint(0, 999)))
+    return specs
+
+
+def minimize_specs(
+    system: str,
+    specs: List[Spec],
+    baseline: Sequence[int],
+    symptom: Tuple,
+) -> Tuple[List[Spec], FuzzedScenario, int]:
+    """Symptom-preserving delta debugging over the spec list.
+
+    Returns the smallest subset (singles first, then pairs) whose probe
+    reproduces exactly ``symptom``, the probed scenario carrying its
+    telemetry, and the number of probes spent.
+    """
+    probes = 0
+    if len(specs) > 1:
+        for size in (1, 2):
+            if size >= len(specs):
+                break
+            for subset in combinations(specs, size):
+                scenario = FuzzedScenario(
+                    "fx", system, list(subset), baseline=baseline
+                )
+                probes += 1
+                if probe_scenario(scenario) and _symptom(scenario) == symptom:
+                    return list(subset), scenario, probes
+    scenario = FuzzedScenario("fx", system, list(specs), baseline=baseline)
+    probes += 1
+    probe_scenario(scenario)
+    return list(specs), scenario, probes
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+def classify(
+    specs: Sequence[Spec],
+    steady_counts: Dict[str, int],
+    scenario: FuzzedScenario,
+) -> Tuple[str, str, str, str, str]:
+    """(family, phase, kind, fault label, consequence) of a reproducer."""
+    regions = [
+        "init" if occ > steady_counts.get(site, 0) else "steady"
+        for site, occ, _kind, _seed in specs
+    ]
+    if all(r == "init" for r in regions):
+        phase = "init"
+    elif any(r == "init" for r in regions):
+        phase = "mixed"
+    else:
+        phase = "steady"
+    torn = any(kind == "torn" for _s, _o, kind, _x in specs)
+    if phase != "steady" or torn:
+        family = FAMILY_KERNEL_PM
+    else:
+        family = FAMILY_CRASH_CONSISTENCY
+
+    if scenario.last_recover_trap:
+        kind_ = "trap"
+        consequence = "Repeated crash at recovery"
+    elif any(h == "trap" for h in scenario.last_victims.values()):
+        kind_ = "trap"
+        consequence = "Lookup crash"
+    else:
+        kind_ = "dataloss"
+        consequence = "Data loss"
+
+    _DESCR = {
+        "skip-flush": "missing flush at {w}",
+        "skip-fence": "elided fence at {w}",
+        "torn": "torn fence at {w}",
+        "crash": "untimely crash at {w}",
+    }
+    parts = []
+    for (site, occ, kind, _seed), region in zip(specs, regions):
+        where = f"{site}#{occ}"
+        if region == "init":
+            where += " (recovery path)"
+        parts.append(_DESCR[kind].format(w=where))
+    fault = " + ".join(parts)
+    inv = scenario.last_probe
+    if inv and not inv.get("consistent", True):
+        fault += (
+            f"; invariant: {inv.get('at_risk_words', 0)} word(s) at risk "
+            f"in the write buffer at quiescence"
+        )
+    nv = len(scenario.last_victims)
+    if scenario.last_recover_trap:
+        fault += f"; recovery traps ({scenario.last_recover_trap})"
+    elif nv:
+        fault += f"; {nv} acked key(s) lost at power loss"
+    return family, phase, kind_, fault, consequence
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def run_fuzz_sweep(
+    systems: Optional[Sequence[str]] = None,
+    trials: int = DEFAULT_TRIALS,
+    sweep_seed: int = DEFAULT_SWEEP_SEED,
+    max_per_system: int = DEFAULT_MAX_PER_SYSTEM,
+    progress=None,
+) -> FuzzReport:
+    """Fuzz every system's persistence window; deterministic per seed.
+
+    Trial RNG streams are seeded per ``(sweep_seed, system, trial)``, so
+    a sweep with fewer trials discovers a strict prefix of a longer
+    sweep's per-system discoveries — the property the CI quick/drift
+    check relies on.
+    """
+    sys_list = sorted(systems if systems is not None else ALL_ADAPTERS)
+    report = FuzzReport(
+        sweep_seed=sweep_seed,
+        trials_per_system=trials,
+        max_per_system=max_per_system,
+    )
+    t0 = time.time()
+    for sys_idx, system in enumerate(sorted(ALL_ADAPTERS)):
+        if system not in sys_list:
+            continue
+        recorder = record_window(system)
+        report.probes += 1
+        counts = {
+            s: recorder.last_counts.get(s, 0) for s in FUZZ_SITES
+        }
+        steady = dict(recorder.last_steady_counts)
+        baseline = sorted(recorder.last_raw_victims)
+        sys_row: Dict[str, object] = {
+            "window_counts": counts,
+            "steady_counts": {s: steady.get(s, 0) for s in FUZZ_SITES},
+            "baseline_losses": baseline,
+            "candidates": 0,
+            "registered": [],
+        }
+        report.systems[system] = sys_row
+        if not any(counts.values()):
+            continue
+        seen_signatures = {d.signature for d in report.discoveries}
+        n_registered = 0
+        for trial in range(trials):
+            if n_registered >= max_per_system:
+                break
+            rng = random.Random(
+                sweep_seed * 1_000_003 + sys_idx * 10_007 + trial
+            )
+            specs = _draw_specs(rng, counts)
+            if not specs:
+                continue
+            candidate = FuzzedScenario("fx", system, specs, baseline=baseline)
+            report.probes += 1
+            if not probe_scenario(candidate):
+                continue
+            sys_row["candidates"] = int(sys_row["candidates"]) + 1
+            symptom = _symptom(candidate)
+            minimal, probed, spent = minimize_specs(
+                system, specs, baseline, symptom
+            )
+            report.probes += spent
+            family, phase, kind_, fault, consequence = classify(
+                minimal, steady, probed
+            )
+            discovery = Discovery(
+                fid="f?",  # assigned after the sweep, in discovery order
+                system=system,
+                family=family,
+                phase=phase,
+                kind=kind_,
+                fault=fault,
+                consequence=consequence,
+                specs=[tuple(s) for s in minimal],
+                baseline=list(baseline),
+                trial=trial,
+                minimized_from=len(specs),
+                victims=dict(probed.last_victims),
+                recover_trap=probed.last_recover_trap,
+                invariant=dict(probed.last_probe),
+            )
+            if discovery.signature in seen_signatures:
+                continue
+            seen_signatures.add(discovery.signature)
+            report.discoveries.append(discovery)
+            n_registered += 1
+            sys_row["registered"].append(discovery.signature)
+            if progress is not None:
+                progress(discovery)
+    for i, d in enumerate(report.discoveries):
+        d.fid = f"f{FIRST_FUZZ_FID + i}"
+    report.wall_seconds = time.time() - t0
+    return report
+
+
+# ----------------------------------------------------------------------
+# registry emission
+# ----------------------------------------------------------------------
+_BEGIN = ("# --- BEGIN FUZZED FAULT SPECS "
+          "(generated by `repro fuzz-sweep --emit-registry`) ---")
+_END = "# --- END FUZZED FAULT SPECS ---"
+
+
+def render_registry_block(discoveries: Sequence[Discovery]) -> str:
+    """The generated ``FUZZED_FAULT_SPECS`` block, byte-deterministic."""
+    lines = [_BEGIN, "FUZZED_FAULT_SPECS: List[Dict[str, object]] = ["]
+    for d in discoveries:
+        lines.append("    {")
+        lines.append(f'        "fid": {d.fid!r},')
+        lines.append(f'        "system": {d.system!r},')
+        lines.append(f'        "family": {d.family!r},')
+        lines.append(f'        "phase": {d.phase!r},')
+        lines.append(f'        "kind": {d.kind!r},')
+        lines.append(f'        "fault": {d.fault!r},')
+        lines.append(f'        "consequence": {d.consequence!r},')
+        lines.append(
+            '        "specs": ['
+            + ", ".join(repr(list(s)) for s in d.specs)
+            + "],"
+        )
+        lines.append(f'        "baseline": {sorted(d.baseline)!r},')
+        lines.append("    },")
+    lines.append("]")
+    lines.append(_END)
+    return "\n".join(lines)
+
+
+def emit_registry(discoveries: Sequence[Discovery], path: str) -> None:
+    """Rewrite the generated block of ``faults/fuzzed.py`` in place."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    start = text.index(_BEGIN)
+    end = text.index(_END) + len(_END)
+    new_text = text[:start] + render_registry_block(discoveries) + text[end:]
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(new_text)
+
+
+def check_against(report: FuzzReport, committed: dict) -> List[str]:
+    """Drift check: this (quick) sweep's discoveries must match the
+    committed report's quick-reachable signatures exactly."""
+    problems: List[str] = []
+    if int(committed.get("sweep_seed", -1)) != report.sweep_seed:
+        problems.append(
+            f"sweep seed mismatch: committed "
+            f"{committed.get('sweep_seed')} vs {report.sweep_seed}"
+        )
+        return problems
+    expected = list(committed.get("quick_signatures", []))
+    got = [d.signature for d in report.discoveries]
+    if got != expected:
+        problems.append(
+            "quick discoveries drifted:\n"
+            f"  expected: {expected}\n"
+            f"  got:      {got}"
+        )
+    return problems

@@ -28,8 +28,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.faultinject import KINDS, InjectionPlan, InjectionSpec, enumerate_cells
+from repro.faultinject import InjectionPlan, InjectionSpec, enumerate_cells
 from repro.harness.experiment import ExperimentResult, run_experiment
+
+#: the recovery-pipeline sweep's kinds — the guest-persistence skip
+#: kinds belong to the crash-consistency fuzzer (harness/fuzz_sweep.py),
+#: not to this sweep, whose cell enumeration is pinned by CI
+PIPELINE_KINDS = ("crash", "torn", "bitflip")
 
 #: per-fault (pre_ops, post_ops) overrides keeping sweep cells tractable;
 #: faults not listed run their scenario's default operation counts
@@ -253,7 +258,7 @@ def run_cell(
 def run_sweep(
     fids: Sequence[str] = DEFAULT_FAULTS,
     solution: str = DEFAULT_SOLUTION,
-    kinds: Sequence[str] = KINDS,
+    kinds: Sequence[str] = PIPELINE_KINDS,
     seed: int = 0,
     max_per_site: int = 3,
     pre_ops: Optional[int] = None,

@@ -51,10 +51,13 @@ from repro.harness.experiment import (
     MitigationRun,
     run_experiment,
 )
+from repro.faults.registry import ALL_SCENARIOS
 from repro.lang.interp import FaultInfo
 
-#: matrix axes of the paper's evaluation (Section 6.1)
-ALL_FAULT_IDS = tuple(f"f{i}" for i in range(1, 13))
+#: matrix axes: the paper's Section 6.1 evaluation (f1–f12) plus every
+#: registered fuzzer discovery (f13+) — derived from the registry so the
+#: matrix grows with `repro fuzz-sweep --emit-registry`
+ALL_FAULT_IDS = tuple(s.fid for s in ALL_SCENARIOS)
 ALL_SOLUTIONS = SOLUTIONS
 
 #: fields of ExperimentResult handled specially by the summary round-trip

@@ -5,15 +5,26 @@ systems use (``pmem_map_file``, ``pmem_persist``, ``pmem_flush``,
 ``pmem_drain``, ``pmem_memcpy_persist``).  Systems written with the
 high-level object API use :class:`~repro.pmem.allocator.PMAllocator` and
 :class:`~repro.pmem.tx.TransactionManager` instead.
+
+The wrappers honor the ``skip-flush`` / ``skip-fence`` fault kinds at
+their own ``pmem.api.*`` sites (the call is silently elided, modelling a
+*missing* libpmem call in the program), which is how the
+crash-consistency fuzzer perturbs native-persistence guests.
+
+:func:`probe_persistence` is the WITCHER-style likely-invariant probe:
+it inspects the simulated CPU write buffer / staged-line state and
+reports what a power loss *right now* would lose — the signal the
+fuzzer's consistency checks and the new fault families are built on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
 
 from repro import faultinject
 from repro.errors import PoolError
-from repro.pmem.pool import PMPool
+from repro.pmem.pool import WORDS_PER_LINE, PMPool
 
 #: registry of mapped pools by path, emulating the pmem_map_file namespace
 _mapped: Dict[str, PMPool] = {}
@@ -41,25 +52,100 @@ def pmem_unmap(path: str) -> None:
 
 def pmem_persist(pool: PMPool, addr: int, nwords: int) -> None:
     """Flush a range and fence — the fundamental durability primitive."""
-    faultinject.fire("pmem.api.pmem_persist")
+    spec = faultinject.fire("pmem.api.pmem_persist")
+    if spec is not None and spec.kind == "skip-flush":
+        pool.stats["skipped_flushes"] += 1
+        pool.fence()  # the fence still runs; the range was never staged
+        return
+    if spec is not None and spec.kind == "skip-fence":
+        pool.stats["skipped_fences"] += 1
+        pool.flush(addr, nwords)  # staged, but never ordered here
+        return
     pool.persist(addr, nwords)
 
 
 def pmem_flush(pool: PMPool, addr: int, nwords: int) -> None:
     """Stage a range for writeback without ordering it (``clwb``)."""
-    faultinject.fire("pmem.api.pmem_flush")
+    spec = faultinject.fire("pmem.api.pmem_flush")
+    if spec is not None and spec.kind == "skip-flush":
+        pool.stats["skipped_flushes"] += 1
+        return
     pool.flush(addr, nwords)
 
 
 def pmem_drain(pool: PMPool) -> None:
     """Order previously flushed ranges (``sfence``)."""
-    faultinject.fire("pmem.api.pmem_drain")
+    spec = faultinject.fire("pmem.api.pmem_drain")
+    if spec is not None and spec.kind == "skip-fence":
+        pool.stats["skipped_fences"] += 1
+        return
     pool.fence()
 
 
 def pmem_memcpy_persist(pool: PMPool, dst: int, values: Iterable[int]) -> None:
     """Copy words into PM and persist them in one call."""
-    faultinject.fire("pmem.api.pmem_memcpy_persist")
+    spec = faultinject.fire("pmem.api.pmem_memcpy_persist")
     values = list(values)
     pool.write_range(dst, values)
+    if spec is not None and spec.kind == "skip-flush":
+        pool.stats["skipped_flushes"] += 1
+        pool.fence()
+        return
     pool.persist(dst, len(values))
+
+
+# ----------------------------------------------------------------------
+# likely-invariant probes over the simulated cache/fence layer
+# ----------------------------------------------------------------------
+@dataclass
+class PersistProbe:
+    """What a power loss *right now* would do to a pool.
+
+    The fuzzer's invariant checks read this between guest quiescence and
+    the simulated power loss: a quiescent guest that believes its data
+    durable must show an empty write buffer, otherwise some persist call
+    was skipped / unordered (WITCHER's missing-flush and persist-ordering
+    invariants).
+    """
+
+    #: words written but never flushed — lost at power loss (missing flush)
+    unflushed_words: int = 0
+    #: cache lines flushed but not yet fenced (ordering not established)
+    staged_lines: int = 0
+    #: words inside staged lines — lost at power loss (missing fence)
+    staged_words: int = 0
+    #: explicit flushed ranges whose persist hooks have not fired
+    pending_ranges: int = 0
+    #: addresses a power loss would revert to their durable value
+    at_risk: Tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def at_risk_words(self) -> int:
+        return len(self.at_risk)
+
+    @property
+    def consistent(self) -> bool:
+        """True when a power loss right now loses nothing."""
+        return self.at_risk_words == 0 and self.pending_ranges == 0
+
+
+def probe_persistence(pool: PMPool) -> PersistProbe:
+    """Inspect ``pool``'s write-buffer state without disturbing it."""
+    staged = pool._staged_lines
+    staged_words = 0
+    unflushed = 0
+    at_risk: List[int] = []
+    for addr in pool._cache:
+        at_risk.append(addr)
+        if addr // WORDS_PER_LINE in staged:
+            staged_words += 1
+        else:
+            unflushed += 1
+    at_risk.sort()
+    return PersistProbe(
+        unflushed_words=unflushed,
+        staged_lines=len(staged),
+        staged_words=staged_words,
+        pending_ranges=len(pool._pending_ranges),
+        at_risk=tuple(at_risk),
+    )

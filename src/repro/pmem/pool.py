@@ -79,6 +79,8 @@ class PMPool:
             "reads": 0,
             "flushes": 0,
             "fences": 0,
+            "skipped_flushes": 0,
+            "skipped_fences": 0,
             "persisted_words": 0,
             "crashes": 0,
         }
@@ -151,7 +153,13 @@ class PMPool:
         if nwords == 0:
             return
         self._check(addr, nwords)
-        faultinject.fire("pmem.flush")
+        spec = faultinject.fire("pmem.flush")
+        if spec is not None and spec.kind == "skip-flush":
+            # the clwb is elided: the store stays in the write buffer,
+            # reads still see it, and the next power loss drops it even
+            # though the program believed it durable (missing-flush bug)
+            self.stats["skipped_flushes"] += 1
+            return
         self.stats["flushes"] += 1
         first = self.line_of(addr)
         last = self.line_of(addr + nwords - 1)
@@ -168,6 +176,13 @@ class PMPool:
         spec = faultinject.fire("pmem.fence")  # crash-before-persist site
         if spec is not None and spec.kind == "torn":
             self._torn_fence(spec)
+        if spec is not None and spec.kind == "skip-fence":
+            # the sfence is elided: staged lines stay staged and persist
+            # hooks do not fire, so the ordering the program relied on is
+            # lost until some *later* fence happens to drain the buffer
+            # (persist-ordering bug)
+            self.stats["skipped_fences"] += 1
+            return
         self.stats["fences"] += 1
         epochs = self._epoch_preimages
         for line in self._staged_lines:

@@ -782,6 +782,12 @@ class Reverter:
         ``probe(best)`` (in the seed a guaranteed redundant re-execution)
         and any repeated midpoint only move state — with *either* engine —
         leaving the pool in the minimal recovered state.
+
+        After the search the same forward-dependence pass as purge
+        reverts updates computed over the discarded prefix.  The pass is
+        one PDG hop deep, so — like purge — bisect retains a small risk
+        of semantic inconsistency (e.g. shared accounting counters more
+        than one hop from the kept candidates).
         """
         result = self._begin("bisect")
         if plan.empty:
@@ -793,12 +799,14 @@ class Reverter:
             return self._finish(result)
 
         groups: List[List[int]] = []
+        group_cands: List[Candidate] = []
         seen: Set[int] = set()
         for cand in plan.candidates:
             group = [s for s in self.tx_closure(cand.seq) if s not in seen]
             if group:
                 seen.update(group)
                 groups.append(group)
+                group_cands.append(cand)
 
         try:
             engine_cls = PROBE_ENGINES[engine]
@@ -847,6 +855,16 @@ class Reverter:
         result.recovered = True
         result.reverted_seqs = list(applied_by_k[best])
         result.notes = f"bisect kept {best} of {len(groups)} reversion groups"
+        # same consistency pass purge runs: updates forward-dependent on
+        # the reverted prefix (e.g. accounting counters incremented over
+        # reverted state) are reverted too, else a partial prefix leaves
+        # shared words embedding discarded history
+        extra = self._purge_forward_pass(
+            result, group_cands[:best], min(applied_by_k[best], default=0)
+        )
+        if extra:
+            confirm = self._attempt(result, extra)
+            result.recovered = confirm is not None and confirm.ok
         return self._finish(result)
 
     # ------------------------------------------------------------------

@@ -18,6 +18,16 @@ class TestVectorClocks:
     def test_merge(self):
         assert vc_merge((1, 5), (3, 2)) == (3, 5)
 
+    def test_dimension_mismatch_raises_instead_of_truncating(self):
+        # zip() used to drop the extra components, so a 3-dim clock
+        # could compare "leq" a 2-dim one and merges lost history
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            vc_leq((1, 2, 3), (1, 2))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            vc_less((1, 2), (1, 2, 3))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            vc_merge((1,), (1, 2))
+
 
 class TestCluster:
     def test_routing_and_lookup(self):
@@ -55,6 +65,33 @@ class TestCluster:
         b.lookup(0)              # b observes node 0's state
         r2 = b.insert(1, 42)     # now causally after r1
         assert vc_less(r1.vc, r2.vc)
+
+    def test_ops_overlapping_seqs_intersects_spans(self):
+        cluster = Cluster(n_nodes=1)
+        client = ClusterClient(cluster, 0)
+        recs = [client.insert(k, 100 + k) for k in range(4)]
+        spans = [(r.first_seq, r.last_seq) for r in recs]
+        # exactly the middle two ops: every seq of their spans
+        target = set(range(spans[1][0], spans[2][1] + 1))
+        hit = cluster.ops_overlapping_seqs(0, target)
+        assert [op.op_id for op in hit] == [recs[1].op_id, recs[2].op_id]
+        # a single boundary seq still finds its op
+        assert cluster.ops_overlapping_seqs(0, {spans[3][1]}) == [recs[3]]
+        assert cluster.ops_overlapping_seqs(0, set()) == []
+        # seqs beyond any span match nothing
+        assert cluster.ops_overlapping_seqs(0, {spans[3][1] + 1000}) == []
+
+    def test_ops_overlapping_seqs_skips_empty_spans(self):
+        cluster = Cluster(n_nodes=1)
+        client = ClusterClient(cluster, 0)
+        rec = client.insert(0, 1)
+        # an operation that produced no checkpoint records: its span is
+        # empty (first > last) and must never be discarded
+        empty = client.delete(999)
+        assert empty.first_seq > empty.last_seq
+        every_seq = set(range(1, cluster.nodes[0].ckpt.log.max_seq() + 1))
+        hit = cluster.ops_overlapping_seqs(0, every_seq)
+        assert rec in hit and empty not in hit
 
     def test_derived_insert(self):
         cluster = Cluster(n_nodes=2)

@@ -40,11 +40,14 @@ SUBSET = [
 
 
 def test_expand_matrix_is_solution_major_cross_product():
+    from repro.harness.matrix import ALL_SOLUTIONS
+
     specs = expand_matrix(seeds=(0, 1))
-    assert len(specs) == 12 * 4 * 2
+    assert len(specs) == len(ALL_FAULT_IDS) * len(ALL_SOLUTIONS) * 2
     assert len(set(specs)) == len(specs)
     # solution-major like the serial CLI sweep
-    assert specs[0].solution == specs[23].solution
+    per_solution = len(ALL_FAULT_IDS) * 2
+    assert specs[0].solution == specs[per_solution - 1].solution
     assert [s.fid for s in specs[:2]] == ["f1", "f1"]
     assert {s.fid for s in specs} == set(ALL_FAULT_IDS)
 
