@@ -1,76 +1,91 @@
 """Distributed hard-fault recovery (the paper's Section 7 sketch).
 
-Three PM nodes serve a keyspace; clients stamp requests with vector
-clocks.  Node 0 gets wedged by the memcached refcount bug (f1).  The
-coordinator:
+Three PM nodes behind a consistent-hash ring serve a keyspace with
+replication factor 2; clients stamp requests with vector clocks.  Node
+0 gets wedged by the memcached refcount bug (f1) and the shard
+supervisor runs the promotion protocol:
 
-1. runs the local Arthas reactor on node 0 (which discards the poisoned
-   insert),
-2. maps the reverted checkpoint sequence numbers back to the client
-   request they belonged to,
-3. cascades: every request *causally after* the discarded one — the
-   client had observed the poisoned state before issuing it — is
-   reverted on whatever node it executed, until the cut is causally
-   consistent.
+1. *promote* — node 0 is marked down; its replicas take over the arc,
+2. *serve* — a window of reads and writes flows mid-heal: healthy
+   shards answer as usual, writes aimed at the sick arc fail over,
+3. *mitigate* — the local Arthas reactor discards the poisoned state
+   (and, were every rung to fail, the *rebuild* phase would abandon
+   the pool and re-replicate it from the surviving replicas),
+4. *cascade* — requests causally after a discarded one are reverted
+   on whatever node applied them, until the cut is causally
+   consistent,
+5. *resync/handoff* — the healed node replays the oplog tail it
+   missed and rejoins as a replica (demoted, never re-promoted).
 
 Run:  python examples/distributed_recovery.py
 """
 
 from repro.detector.monitor import Detector
-from repro.distributed import Cluster, ClusterClient, DistributedReactor
+from repro.distributed import Cluster, ClusterClient
+from repro.distributed.shardmgr import ShardManager
+from repro.faults.registry import scenario_by_id
+from repro.harness.experiment import ExperimentContext
 
 
 def main():
-    cluster = Cluster(n_nodes=3, n_clients=2)
+    scenario = scenario_by_id("f1")
+    cluster = Cluster(n_nodes=3, n_clients=2, replication=2)
     alice = ClusterClient(cluster, 0)
     bob = ClusterClient(cluster, 1)
 
     for key in range(30):
         alice.insert(key, 500 + key)
-    print(f"3 nodes, 30 keys loaded; lookup(7) = {alice.lookup(7)}")
+    print(f"3 nodes (replication 2), 30 keys loaded; "
+          f"lookup(7) = {alice.lookup(7)}")
 
-    # wedge node 0 with the f1 refcount bug
+    # wedge node 0: the f1 refcount overflow poisons one of its buckets
     node0 = cluster.nodes[0]
-    victim = 0
-    while node0.call("mc_refcount", node0.root, victim) != 0:
-        node0.lookup(victim)
-    node0.reap()
-    poison_key = 3 * (1 << 20)  # routes to node 0, same bucket as victim
-    poison_op = bob.insert(poison_key, 999)
+    ctx = ExperimentContext(node0, scenario, seed=0)
+    ctx.oracle = cluster.oracles[0]
+    scenario.trigger(ctx)
 
-    # bob's next requests are causally after the poisoned one
-    dep1 = bob.insert(poison_key + 1, 1000)   # lands on node 1
-    dep2 = bob.insert(poison_key + 2, 1001)   # lands on node 2
-    print(f"poisoned insert op#{poison_op.op_id} on node 0; "
-          f"dependents op#{dep1.op_id} (node {dep1.node}), "
-          f"op#{dep2.op_id} (node {dep2.node})")
-
-    # the failure manifests on node 0 and survives restarts
     detector = Detector()
-    probe = 5 * (1 << 20)
-    outcome = detector.observe(node0.machine, lambda: node0.lookup(probe))
+    outcome = detector.observe(node0.machine, lambda: scenario.manifest(ctx))
+    assert not outcome.ok
     print(f"node 0 failure: {outcome.fault.kind} in {outcome.fault.location}")
 
-    reactor = DistributedReactor(cluster)
+    # keys whose pre-fault primary is node 0: written during the heal,
+    # they must fail over to replicas and land back on node 0 at resync
+    arc_keys = cluster.keys_for_node(0, 3, start=1000)
+    window = {"reads": [], "writes": []}
 
-    def verify():
-        assert node0.lookup(probe) == -1
+    def serve_between():
+        assert cluster.is_down(0)
+        for key in range(6):          # healthy-shard reads keep flowing
+            window["reads"].append(bob.lookup(key))
+        for key in arc_keys:          # the sick arc accepts writes
+            rec = bob.insert(key, 9000 + key)
+            assert rec.node != 0
+            window["writes"].append(rec)
 
-    report = reactor.mitigate(0, outcome.fault.iid, verify)
-    print(f"local recovery: {report.recovered} "
-          f"({report.local_attempts} attempts); discarded "
-          f"{[op.op_id for op in report.discarded_ops]} on node 0")
-    print(f"cascade ({report.rounds} round(s)): reverted "
-          f"{[(op.op_id, op.node) for op in report.cascaded_ops]}")
+    mgr = ShardManager(cluster, solution="arthas", seed=0)
+    mgr.note_verdict(0)
+    report = mgr.heal(
+        0, ctx, scenario, outcome, detector, serve_between=serve_between
+    )
+    print(f"heal: recovered={report.recovered} via {report.recovered_by}, "
+          f"phases={report.phases}")
+    print(f"served mid-heal: {len(window['reads'])} reads, "
+          f"{len(window['writes'])} failed-over writes")
+    print(f"resync replayed {report.resync_replayed} missed op(s); "
+          f"node 0 rejoined demoted={report.demoted}")
 
     print("post-recovery state:")
-    print(f"  node 0 GET({probe}) -> {node0.lookup(probe)} (was hanging)")
-    print(f"  dependents gone: "
-          f"{cluster.nodes[dep1.node].lookup(dep1.key)}, "
-          f"{cluster.nodes[dep2.node].lookup(dep2.key)}")
-    survivors = sum(1 for k in range(1, 30) if alice.lookup(k) == 500 + k)
-    print(f"  {survivors}/29 independent keys intact")
-    assert report.recovered
+    for op in window["writes"]:
+        if 0 in op.spans:
+            print(f"  window write key {op.key} -> node 0 now serves "
+                  f"{cluster.nodes[0].lookup(op.key)}")
+    survivors = sum(1 for k in range(30) if alice.lookup(k) == 500 + k)
+    print(f"  {survivors}/30 pre-fault keys intact")
+    for row in mgr.health_table():
+        print(f"  shard {row['node']}: {row['status']} "
+              f"(score {row['score']})")
+    assert report.recovered and report.demoted
 
 
 if __name__ == "__main__":

@@ -17,6 +17,11 @@ Subcommands:
 * ``fuzz-sweep`` — deterministic crash-consistency fuzzer over the
   guest persistence layer; discovers, minimizes and registers new
   fault-family scenarios (f13+) past the seeded Table-2 set.
+* ``cluster-sweep`` — every registered fault injected into one shard
+  of a replicated cluster; replica promotion, online re-recovery and
+  byte-identical promoted-vs-quiesced digests per cell.
+* ``cluster-status`` — demo heal: wedge one shard, run the promotion
+  protocol, print the per-shard health table.
 """
 
 from __future__ import annotations
@@ -432,6 +437,92 @@ def _cmd_fuzz_sweep(args) -> int:
     return 0
 
 
+def _cmd_cluster_sweep(args) -> int:
+    import json
+    import os
+
+    from repro.harness.cluster_sweep import check_against, run_cluster_sweep
+
+    def progress(cell) -> None:
+        print(f"  {cell.cell_key}: "
+              f"{'converged' if cell.converged else 'FAILED'}",
+              file=sys.stderr)
+
+    report = run_cluster_sweep(
+        sweep_seed=args.seed, quick=args.quick, progress=progress
+    )
+    print(report.summary())
+
+    if args.check:
+        if not os.path.exists(args.out):
+            print(f"drift check: no committed report at {args.out}",
+                  file=sys.stderr)
+            return 1
+        with open(args.out) as f:
+            committed = json.load(f)
+        problems = check_against(report, committed)
+        if problems:
+            for p in problems:
+                print(f"drift check: {p}", file=sys.stderr)
+            return 1
+        print(f"drift check: sweep matches {args.out}", file=sys.stderr)
+        return 0 if report.all_converged else 1
+
+    if args.out != "-":
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.all_converged else 1
+
+
+def _cmd_cluster_status(args) -> int:
+    from repro.detector.monitor import Detector
+    from repro.distributed.cluster import Cluster, ClusterClient
+    from repro.distributed.shardmgr import ShardManager
+    from repro.faults.registry import scenario_by_id
+    from repro.harness.experiment import ExperimentContext
+
+    scenario = scenario_by_id(args.fid)
+    cluster = Cluster(
+        n_nodes=args.nodes, n_clients=1,
+        adapter_cls=scenario.adapter_cls(), seed=args.seed, replication=2,
+    )
+    client = ClusterClient(cluster, 0)
+    for key in range(40):
+        client.insert(key, 500 + key)
+    target = 0
+    node = cluster.nodes[target]
+    ctx = ExperimentContext(node, scenario, args.seed)
+    ctx.oracle = cluster.oracles[target]
+    scenario.trigger(ctx)
+    detector = Detector()
+    outcome = detector.observe(node.machine, lambda: scenario.manifest(ctx))
+    if outcome.ok:
+        print(f"{args.fid} did not manifest on shard {target}",
+              file=sys.stderr)
+        return 1
+    mgr = ShardManager(cluster, solution="arthas", seed=args.seed)
+    mgr.note_verdict(target)
+    report = mgr.heal(target, ctx, scenario, outcome, detector)
+    print(f"heal({args.fid} @ shard {target}): "
+          f"recovered={report.recovered} via {report.recovered_by or '-'}, "
+          f"demoted={report.demoted}, "
+          f"resync_replayed={report.resync_replayed}")
+    rows = [
+        [row["node"], row["status"], row["score"], row["verdicts"],
+         row["mitigations"]]
+        for row in mgr.health_table()
+    ]
+    print(render_table(
+        "Cluster shard health",
+        ["shard", "status", "score", "verdicts", "mitigations"],
+        rows,
+    ))
+    return 0 if report.recovered else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -574,6 +665,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "block in faults/fuzzed.py")
     fuzz_p.add_argument("--out", default="results/fuzz_sweep.json",
                         help="JSON report path ('-' to skip writing)")
+
+    csweep_p = sub.add_parser(
+        "cluster-sweep",
+        help="inject every registered fault into one shard of a "
+             "replicated cluster and demand promotion-healed, "
+             "digest-identical convergence per cell",
+    )
+    csweep_p.add_argument("--seed", type=int, default=11,
+                          help="sweep seed (cells are deterministic "
+                               "per seed)")
+    csweep_p.add_argument("--quick", action="store_true",
+                          help="f1+f5 and one heal-crash cell (CI smoke "
+                               "mode; a strict subset of the full sweep)")
+    csweep_p.add_argument("--check", action="store_true",
+                          help="drift check: compare this sweep's cells "
+                               "against the committed report at --out")
+    csweep_p.add_argument("--out", default="results/cluster_sweep.json",
+                          help="JSON report path ('-' to skip writing)")
+
+    cstatus_p = sub.add_parser(
+        "cluster-status",
+        help="demo heal: wedge one shard, run the promotion protocol, "
+             "print the per-shard health table",
+    )
+    cstatus_p.add_argument("--fid", default="f1",
+                           help="fault scenario to wedge shard 0 with")
+    cstatus_p.add_argument("--nodes", type=int, default=3)
+    cstatus_p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -591,6 +710,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "inject-sweep": _cmd_inject_sweep,
         "fuzz-sweep": _cmd_fuzz_sweep,
+        "cluster-sweep": _cmd_cluster_sweep,
+        "cluster-status": _cmd_cluster_status,
     }
     return handlers[args.command](args)
 

@@ -22,15 +22,36 @@ This package implements that sketch at laptop scale:
   numbers back to client requests, and cascade-revert every request that
   causally follows a discarded one (Fidge/Mattern happens-before over
   the vector clocks), node by node, until the closure is empty.
+
+Beyond the sketch, the package now serves *through* failures:
+
+* :mod:`repro.distributed.ring` — consistent-hash placement with
+  virtual nodes; replica promotion is a ring status flag, so failover
+  moves no data.
+* :mod:`repro.distributed.shardmgr` — the shard supervisor: journaled
+  promote → mitigate → cascade → resync/handoff phases, each
+  crash-retried and idempotent, with per-shard health scores.
 """
 
-from repro.distributed.cluster import Cluster, ClusterClient, OpRecord
+from repro.distributed.cluster import (
+    Cluster,
+    ClusterClient,
+    OpRecord,
+    ShardUnavailable,
+)
 from repro.distributed.recovery import DistributedReactor, DistributedRecoveryReport
+from repro.distributed.ring import HashRing
+from repro.distributed.shardmgr import HealReport, NodeHealth, ShardManager
 
 __all__ = [
     "Cluster",
     "ClusterClient",
     "OpRecord",
+    "ShardUnavailable",
     "DistributedReactor",
     "DistributedRecoveryReport",
+    "HashRing",
+    "HealReport",
+    "NodeHealth",
+    "ShardManager",
 ]

@@ -1,28 +1,49 @@
-"""A cluster of single-node PM systems with vector-clock-stamped clients.
+"""A sharded, replicated cluster of PM systems with vector-clock clients.
 
 Each node is one fully-equipped system deployment (its own pool,
-allocator, checkpoint log and PM-address trace).  Requests are routed by
-key; every mutation is recorded in a cluster-wide operation log carrying:
+allocator, checkpoint log and PM-address trace).  Requests are routed
+by a consistent-hash ring (:mod:`repro.distributed.ring`); every
+mutation is applied primary-then-replica across a replica set of size
+``replication`` and recorded in a cluster-wide operation log carrying:
 
 * the issuing client and its vector clock at send time, and
-* the span of checkpoint-log sequence numbers the operation produced on
-  its node.
+* for *every node that applied it*, the span of checkpoint-log
+  sequence numbers the operation produced there.
 
-The sequence spans let the coordinator translate "node i reverted
-sequence numbers S" into "these client operations were discarded"; the
-vector clocks define which other operations causally depend on them.
+The per-node sequence spans let the coordinator translate "node i
+reverted sequence numbers S" into "these client operations were
+discarded" — and, because an op's replica spans are recorded too, the
+cascade can revert an orphan on a demoted node's *replicas* even while
+the demoted node itself is down.  The vector clocks define which other
+operations causally depend on the discarded ones.
+
+Routing during a failure: marking a node down on the ring makes the
+next live preference node the primary for its keys — replica
+promotion is a ring flag, not a data migration.  A healed node is
+re-synced from the oplog tail (:meth:`Cluster.replay_missed`) and
+rejoins demoted: replica duty first, primary duty only when the ring
+has no better candidate.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
-from typing import List, Optional, Tuple, Type
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Type
 
-from repro.systems.common import SystemAdapter
+from repro.distributed.ring import HashRing
+from repro.systems.common import ABSENT, SystemAdapter
 from repro.systems.memcached import MemcachedAdapter
 
 VectorClock = Tuple[int, ...]
+
+
+class ShardUnavailable(RuntimeError):
+    """Every node in a key's replica chain is down."""
+
+    def __init__(self, key: int):
+        super().__init__(f"no live replica for key {key}")
+        self.key = key
 
 
 def _check_dims(a: VectorClock, b: VectorClock) -> None:
@@ -56,19 +77,34 @@ class OpRecord:
 
     op_id: int
     client: int
+    #: primary node at apply time (first entry of the replica set)
     node: int
     kind: str  # "insert" | "delete"
     key: int
-    value: int
+    #: stored value for inserts; ``None`` for deletes (a delete stores
+    #: nothing — the old ``0`` sentinel made a real stored 0 ambiguous)
+    value: Optional[int]
     vc: VectorClock
+    #: primary-node span, kept as plain fields for single-node callers
     first_seq: int
     last_seq: int
+    #: node id -> (first_seq, last_seq) on *every* node that applied
+    #: the op (primary and replicas; grown again when a healed node
+    #: replays it during re-sync)
+    spans: Dict[int, Tuple[int, int]] = field(default_factory=dict)
     #: set by the coordinator when the operation is discarded by recovery
     discarded: bool = False
+    #: nodes where the discard has been physically reverted; lets the
+    #: cascade skip nodes that already reverted and lets re-sync revert
+    #: a span the node missed while it was down
+    reverted_on: Set[int] = field(default_factory=set)
+
+    def span_on(self, node_id: int) -> Optional[Tuple[int, int]]:
+        return self.spans.get(node_id)
 
 
 class Cluster:
-    """N independent PM nodes plus the operation log."""
+    """N independent PM nodes behind a consistent-hash ring."""
 
     def __init__(
         self,
@@ -76,7 +112,10 @@ class Cluster:
         n_clients: int = 2,
         adapter_cls: Type[SystemAdapter] = MemcachedAdapter,
         seed: int = 0,
+        replication: Optional[int] = None,
+        vnodes: int = 64,
     ):
+        self.seed = seed
         self.nodes: List[SystemAdapter] = []
         for i in range(n_nodes):
             node = adapter_cls(seed=seed + i)
@@ -84,6 +123,10 @@ class Cluster:
             self.nodes.append(node)
         self.n_clients = n_clients
         self.n_nodes = n_nodes
+        self.replication = (
+            min(2, n_nodes) if replication is None else min(replication, n_nodes)
+        )
+        self.ring = HashRing(range(n_nodes), vnodes=vnodes, seed=seed)
         #: per-client vector clocks over (clients + nodes) dimensions
         self._dims = n_clients + n_nodes
         self._client_vc: List[List[int]] = [
@@ -93,99 +136,229 @@ class Cluster:
             [0] * self._dims for _ in range(n_nodes)
         ]
         self.oplog: List[OpRecord] = []
+        #: per-node op index, appended at record time — ops_on_node was
+        #: an O(|oplog|) scan per call, which made the cascade's
+        #: ops_overlapping_seqs quadratic in ops
+        self._ops_by_node: Dict[int, List[OpRecord]] = {}
+        #: per-node logical key/value truth (what the node should hold
+        #: from *cluster* traffic; node-local trigger traffic maintains
+        #: the same dicts through the experiment context alias)
+        self.oracles: List[Dict[int, int]] = [{} for _ in range(n_nodes)]
         self._next_op_id = 1
 
     # ------------------------------------------------------------------
-    def node_for(self, key: int) -> int:
-        return key % self.n_nodes
+    # routing
+    # ------------------------------------------------------------------
+    def node_for(self, key: int) -> Optional[int]:
+        """The key's current primary (``None`` if its chain is down)."""
+        return self.ring.primary_for(key)
 
-    def _stamp(self, client: int, node: int) -> VectorClock:
-        """Advance and exchange clocks for one client->node request."""
-        cvc = self._client_vc[client]
-        cvc[client] += 1
-        nvc = self._node_vc[node]
-        _check_dims(tuple(cvc), tuple(nvc))
-        merged = [max(a, b) for a, b in zip(cvc, nvc)]
-        merged[self.n_clients + node] += 1
-        self._node_vc[node] = list(merged)
-        self._client_vc[client] = list(merged)
-        return tuple(merged)
+    def replica_nodes_for(self, key: int) -> List[int]:
+        return self.ring.replica_set(key, self.replication)
+
+    def is_down(self, node_id: int) -> bool:
+        return self.ring.is_down(node_id)
+
+    def keys_for_node(
+        self, node_id: int, count: int = 1, start: int = 0, stride: int = 1
+    ) -> List[int]:
+        """The first ``count`` integer keys ≥ ``start`` whose primary is
+        ``node_id`` — how tests and the sweep aim traffic at one shard
+        now that routing is ring-hashed rather than ``key % n``."""
+        out: List[int] = []
+        key = start
+        limit = start + stride * max(1_000_000, count * 1000)
+        while len(out) < count:
+            if key > limit:
+                raise ValueError(f"node {node_id} owns no keys in range")
+            if self.ring.primary_for(key) == node_id:
+                out.append(key)
+            key += stride
+        return out
 
     # ------------------------------------------------------------------
-    def insert(self, client: int, key: int, value: int) -> OpRecord:
-        node_id = self.node_for(key)
-        node = self.nodes[node_id]
-        first = node.ckpt.log.max_seq() + 1
-        node.insert(key, value)
-        last = node.ckpt.log.max_seq()
+    # clocks
+    # ------------------------------------------------------------------
+    def _stamp(self, client: int, node_ids: List[int]) -> VectorClock:
+        """Advance and exchange clocks for one client request applied on
+        ``node_ids`` (primary first, then replicas).
+
+        Per-shard stamping: the op is an event of its *primary* — the
+        client's clock merges with the primary's and the primary's
+        component ticks.  Replicas learn the stamp one-way (their clock
+        absorbs it without contributing or ticking): they store
+        causally-tagged data without serializing against it, so two ops
+        on different primaries stay concurrent even when their replica
+        sets overlap — yet after a promotion, reads served by the
+        replica still inherit the causal history of everything it
+        stored, which keeps the orphan cascade sound.
+        """
+        cvc = self._client_vc[client]
+        cvc[client] += 1
+        primary = node_ids[0]
+        merged = vc_merge(tuple(cvc), tuple(self._node_vc[primary]))
+        stamped = list(merged)
+        stamped[self.n_clients + primary] += 1
+        self._client_vc[client] = list(stamped)
+        self._node_vc[primary] = list(stamped)
+        for nid in node_ids[1:]:
+            self._node_vc[nid] = list(
+                vc_merge(tuple(self._node_vc[nid]), tuple(stamped))
+            )
+        return tuple(stamped)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _apply(
+        self, client: int, kind: str, key: int, value: Optional[int]
+    ) -> OpRecord:
+        node_ids = self.replica_nodes_for(key)
+        if not node_ids:
+            raise ShardUnavailable(key)
+        spans: Dict[int, Tuple[int, int]] = {}
+        for nid in node_ids:
+            spans[nid] = self._apply_on(nid, kind, key, value)
         record = OpRecord(
             op_id=self._next_op_id,
             client=client,
-            node=node_id,
-            kind="insert",
+            node=node_ids[0],
+            kind=kind,
             key=key,
             value=value,
-            vc=self._stamp(client, node_id),
-            first_seq=first,
-            last_seq=last,
+            vc=self._stamp(client, node_ids),
+            first_seq=spans[node_ids[0]][0],
+            last_seq=spans[node_ids[0]][1],
+            spans=spans,
         )
         self._next_op_id += 1
         self.oplog.append(record)
+        for nid in spans:
+            self._ops_by_node.setdefault(nid, []).append(record)
         return record
 
-    def delete(self, client: int, key: int) -> OpRecord:
-        node_id = self.node_for(key)
+    def _apply_on(
+        self, node_id: int, kind: str, key: int, value: Optional[int]
+    ) -> Tuple[int, int]:
+        """Apply one mutation on one node, returning its seq span."""
         node = self.nodes[node_id]
         first = node.ckpt.log.max_seq() + 1
-        node.delete(key)
+        if kind == "insert":
+            node.insert(key, value)
+            self.oracles[node_id][key] = value
+        else:
+            node.delete(key)
+            self.oracles[node_id].pop(key, None)
         last = node.ckpt.log.max_seq()
-        record = OpRecord(
-            op_id=self._next_op_id,
-            client=client,
-            node=node_id,
-            kind="delete",
-            key=key,
-            value=0,
-            vc=self._stamp(client, node_id),
-            first_seq=first,
-            last_seq=last,
-        )
-        self._next_op_id += 1
-        self.oplog.append(record)
-        return record
+        return (first, last)
+
+    def insert(self, client: int, key: int, value: int) -> OpRecord:
+        if value == ABSENT:
+            raise ValueError(
+                f"refusing to store the ABSENT sentinel ({ABSENT}): a "
+                "stored -1 would be indistinguishable from a miss"
+            )
+        return self._apply(client, "insert", key, value)
+
+    def delete(self, client: int, key: int) -> OpRecord:
+        return self._apply(client, "delete", key, None)
 
     def lookup(self, client: int, key: int) -> int:
         """Reads exchange clocks too (they create causal edges)."""
         node_id = self.node_for(key)
+        if node_id is None:
+            raise ShardUnavailable(key)
         value = self.nodes[node_id].lookup(key)
-        self._stamp(client, node_id)
+        self._stamp(client, [node_id])
         return value
 
     # ------------------------------------------------------------------
+    # damage assessment
+    # ------------------------------------------------------------------
     def ops_on_node(self, node_id: int) -> List[OpRecord]:
-        return [op for op in self.oplog if op.node == node_id]
+        """Ops that produced checkpoint records on ``node_id`` (as
+        primary or replica), in op_id order — served from the per-node
+        index, not an oplog scan."""
+        return list(self._ops_by_node.get(node_id, ()))
 
     def ops_overlapping_seqs(self, node_id: int, seqs) -> List[OpRecord]:
-        """Operations on a node whose sequence span intersects ``seqs``.
+        """Operations whose span *on that node* intersects ``seqs``.
 
-        O((|ops| + |seqs|) log |seqs|): one sorted copy of ``seqs``,
-        then a bisect per op for the smallest reverted seq >= its span
-        start — instead of scanning every seq for every op.
+        O((|node ops| + |seqs|) log |seqs|): one sorted copy of
+        ``seqs``, then a bisect per op for the smallest reverted seq >=
+        its span start — and only the node's own ops are visited.
         """
         ordered = sorted(set(seqs))
         if not ordered:
             return []
         out = []
-        for op in self.ops_on_node(node_id):
-            if op.first_seq > op.last_seq:
+        for op in self._ops_by_node.get(node_id, ()):
+            span = op.spans.get(node_id)
+            if span is None:
+                continue
+            first, last = span
+            if first > last:
                 # empty span: the operation wrote no checkpoint records
                 # (e.g. a delete of an absent key), so no reverted seq
                 # can discard it
                 continue
-            i = bisect_left(ordered, op.first_seq)
-            if i < len(ordered) and ordered[i] <= op.last_seq:
+            i = bisect_left(ordered, first)
+            if i < len(ordered) and ordered[i] <= last:
                 out.append(op)
         return out
+
+    # ------------------------------------------------------------------
+    # re-sync
+    # ------------------------------------------------------------------
+    def replay_missed(self, node_id: int, tick=None) -> int:
+        """Replay oplog-tail ops a healed node missed while down.
+
+        An op is replayed iff the node belongs to the key's replica set
+        *as it will stand once the node is marked up* (catch-up runs
+        before the handoff flips the ring flag, so eligibility is
+        computed against a what-if down set rather than by mutating the
+        ring mid-phase), the op is not discarded, and the node has no
+        span for it yet.  Replays run in op_id order; each records its
+        span only after the apply completes, so a crash-and-retry
+        re-applies the op (idempotently) instead of losing it.  ``tick``
+        is called before each replay — the shard supervisor threads the
+        ``cluster.resync`` injection site through it.  Returns the
+        number of ops replayed (the node's resync lag).
+        """
+        replayed = 0
+        down = self.ring.down - {node_id}
+        for op in self.oplog:
+            if op.discarded or node_id in op.spans:
+                continue
+            members = self.ring.replica_set(op.key, self.replication, down=down)
+            if node_id not in members:
+                continue
+            if tick is not None:
+                tick()
+            span = self._apply_on(node_id, op.kind, op.key, op.value)
+            op.spans[node_id] = span
+            self._ops_by_node.setdefault(node_id, []).append(op)
+            replayed += 1
+        return replayed
+
+    def rebuild_node(self, node_id: int) -> None:
+        """Replace a node's deployment with a fresh pool (re-replication).
+
+        Local mitigation's last resort: the damaged pool is abandoned
+        and the node's durable state is re-derived from the cluster —
+        once the spans recorded against the old pool are forgotten,
+        :meth:`replay_missed` replays every eligible oplog op from the
+        surviving replicas (R >= 2 keeps each op on a live pool, so no
+        cluster op is lost).  Node-local state that never entered the
+        oplog is the fault's blast radius and dies with the pool.
+        """
+        adapter = type(self.nodes[node_id])(seed=self.seed + node_id)
+        adapter.start()
+        self.nodes[node_id] = adapter
+        self.oracles[node_id].clear()
+        for op in self._ops_by_node.pop(node_id, []):
+            op.spans.pop(node_id, None)
+            op.reverted_on.discard(node_id)
 
 
 class ClusterClient:
@@ -209,6 +382,6 @@ class ClusterClient:
         cross-node dependency pattern of the paper's Section 7 example
         (request r2 is computed from request r1's result)."""
         value = self.lookup(src_key)
-        if value == -1:
+        if value == ABSENT:
             return None
         return self.insert(dst_key, f(value))

@@ -1,0 +1,487 @@
+"""The shard supervisor: replica promotion + online re-recovery.
+
+When a primary's detector flags a hard fault, the supervisor runs the
+promotion protocol — four journaled, individually crash-retried phases
+that leave the cluster serving throughout:
+
+1. **promote** — mark the sick node down on the ring.  That single flag
+   *is* the promotion: the next live preference node becomes primary
+   for every key the sick node fronted, with no data movement (replica
+   sets of size R ≥ 2 mean the new primary already holds the data).
+2. **mitigate** — the sick node runs the crash-safe supervised ladder
+   (:func:`repro.harness.experiment._mitigate_supervised`: purge →
+   rollback → snapshot under crash retries, riding the delta probe
+   engine for bisect solutions).  Routing skips the node, so healthy
+   shards never block; hand the supervisor a
+   :class:`repro.reactor.server.WorkerGate` and the ladder chunks
+   itself through the turnstile so a *serving thread* can interleave
+   reads between mitigation chunks.
+2b. **rebuild** — when every ladder rung fails (some faults are beyond
+   local repair — the single-node study recovers them only from
+   snapshots), the supervisor abandons the pool and *re-replicates*:
+   a fresh deployment whose state the resync phase replays wholesale
+   from the surviving replicas.  The cluster's replicas are a snapshot
+   that is always current.
+3. **cascade** — damage assessment + the promotion-aware causal
+   cascade (:meth:`DistributedReactor.cascade_from`): reverted seqs map
+   to discarded client ops, orphans are reverted through every live
+   replica's log — including orphans whose primary is the demoted node
+   itself.
+4. **resync + handoff** — settle the revert debt the node accrued
+   while down, replay the oplog tail it missed, then demote it (sticky
+   replica duty) and mark it up.
+
+Each phase records completion in a per-node journal and every
+externally-visible effect is idempotent (ring flags are sets, reverts
+are pure functions of the log, replays record their span only after
+applying), so a *second* fault arriving mid-promotion — modeled by the
+``cluster.promote`` / ``cluster.resync`` / ``cluster.handoff`` crash
+sites — converges on retry instead of splitting the brain.
+
+Per-node health scores aggregate detector verdicts, mitigation
+attempts, crash retries, resync lag and leak counts; the
+``cluster-status`` CLI renders them.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro import faultinject
+from repro.distributed.cluster import Cluster, OpRecord
+from repro.distributed.recovery import DistributedReactor
+from repro.harness.experiment import MitigationRun, _make_reexec, _mitigate_supervised
+from repro.harness.simclock import ReexecDelay, SimClock
+from repro.harness.supervisor import StepResult, with_crash_retries
+from repro.systems.common import ABSENT
+
+
+@dataclass
+class NodeHealth:
+    """Rolled-up per-shard health accounting."""
+
+    node_id: int
+    status: str = "serving"  # serving | down | mitigating | resyncing | demoted
+    verdicts: int = 0
+    mitigations: int = 0
+    attempts: int = 0
+    crash_retries: int = 0
+    resync_lag: int = 0
+    leaked_blocks: int = 0
+    discarded_ops: int = 0
+
+    @property
+    def score(self) -> int:
+        """0–100: how much the supervisor trusts this shard right now."""
+        s = 100
+        if self.status == "down":
+            s -= 60
+        elif self.status in ("mitigating", "resyncing"):
+            s -= 40
+        elif self.status == "demoted":
+            s -= 15
+        s -= 5 * min(self.verdicts, 4)
+        s -= 2 * min(self.mitigations, 5)
+        s -= min(self.crash_retries, 10)
+        s -= min(self.resync_lag // 8, 10)
+        s -= min(self.leaked_blocks // 16, 10)
+        return max(0, s)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "node": self.node_id,
+            "status": self.status,
+            "score": self.score,
+            "verdicts": self.verdicts,
+            "mitigations": self.mitigations,
+            "attempts": self.attempts,
+            "crash_retries": self.crash_retries,
+            "resync_lag": self.resync_lag,
+            "leaked_blocks": self.leaked_blocks,
+            "discarded_ops": self.discarded_ops,
+        }
+
+
+class HealJournal:
+    """Write-ahead record of completed promotion-protocol phases.
+
+    Re-entering a phase that already completed is a no-op — the
+    idempotence anchor for crash-retried heals.
+    """
+
+    PHASES = ("promote", "mitigate", "rebuild", "cascade", "resync", "handoff")
+
+    def __init__(self) -> None:
+        self.completed: Dict[str, dict] = {}
+
+    def done(self, phase: str) -> bool:
+        return phase in self.completed
+
+    def complete(self, phase: str, **info) -> None:
+        self.completed[phase] = info
+
+    def phases_done(self) -> List[str]:
+        return [p for p in self.PHASES if p in self.completed]
+
+
+@dataclass
+class HealReport:
+    """One node's trip through the promotion protocol."""
+
+    node_id: int
+    promoted: bool = False
+    recovered: bool = False
+    recovered_by: str = ""
+    run: Optional[MitigationRun] = None
+    discarded_ops: List[OpRecord] = field(default_factory=list)
+    cascaded_ops: List[OpRecord] = field(default_factory=list)
+    cascade_rounds: int = 0
+    resync_reverted: int = 0
+    resync_replayed: int = 0
+    crash_retries: int = 0
+    demoted: bool = False
+    phases: List[str] = field(default_factory=list)
+
+
+class ShardManager:
+    """Supervises one cluster's shards through fault, failover, heal."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        solution: str = "arthas",
+        seed: int = 0,
+        max_crash_retries: int = 6,
+    ):
+        self.cluster = cluster
+        self.reactor = DistributedReactor(cluster)
+        self.solution = solution
+        self.seed = seed
+        self.max_crash_retries = max_crash_retries
+        self.health: Dict[int, NodeHealth] = {
+            i: NodeHealth(i) for i in range(cluster.n_nodes)
+        }
+        self._journals: Dict[int, HealJournal] = {}
+
+    def journal(self, node_id: int) -> HealJournal:
+        return self._journals.setdefault(node_id, HealJournal())
+
+    def reset_journal(self, node_id: int) -> None:
+        """Start a fresh heal for a node (a new, distinct fault)."""
+        self._journals.pop(node_id, None)
+
+    def note_verdict(self, node_id: int) -> None:
+        """The detector flagged this node (confirmed-hard heuristics)."""
+        self.health[node_id].verdicts += 1
+
+    # ------------------------------------------------------------------
+    # phase 1: promote
+    # ------------------------------------------------------------------
+    def promote(self, node_id: int, clock: Optional[SimClock] = None) -> int:
+        """Mark the node down; its keys fail over to live replicas.
+
+        Crash-retried around the ``cluster.promote`` site: marking down
+        is a set-add, so a crash between the ring flag and the journal
+        entry re-runs into the same state.  Returns crash retries.
+        """
+        journal = self.journal(node_id)
+        if journal.done("promote"):
+            return 0
+        clock = clock or SimClock()
+
+        def step() -> StepResult:
+            self.cluster.ring.mark_down(node_id)
+            faultinject.fire("cluster.promote")
+            return StepResult(recovered=True)
+
+        _, retries = with_crash_retries(
+            step, self.cluster.nodes[node_id].pool, clock,
+            self.max_crash_retries,
+        )
+        journal.complete("promote", crash_retries=retries)
+        h = self.health[node_id]
+        h.status = "down"
+        h.crash_retries += retries
+        return retries
+
+    # ------------------------------------------------------------------
+    # phase 2: mitigate (the sick node, off the serving path)
+    # ------------------------------------------------------------------
+    def mitigate(
+        self,
+        node_id: int,
+        ctx,
+        scenario,
+        outcome,
+        detector,
+        monitor=None,
+        snapshotter=None,
+        inject_plan=None,
+        gate=None,
+        mclock: Optional[SimClock] = None,
+    ) -> MitigationRun:
+        """Run the supervised degradation ladder on the sick node.
+
+        ``gate`` (a :class:`repro.reactor.server.WorkerGate`) chunks
+        the ladder through a thread turnstile so a serving thread can
+        interleave healthy-shard reads between mitigation chunks; the
+        hook rides ``ctx.yield_fn`` + the VM step hook exactly like the
+        live-traffic server's cooperative mitigation.
+        """
+        journal = self.journal(node_id)
+        if journal.done("mitigate"):
+            return journal.completed["mitigate"]["run"]
+        adapter = ctx.adapter
+        h = self.health[node_id]
+        h.status = "mitigating"
+        mclock = mclock or SimClock()
+        delay = ReexecDelay(seed=self.seed * 13 + 5)
+        reexec = _make_reexec(ctx, scenario, detector, monitor)
+
+        installed = gate is not None
+        if installed:
+            ctx.yield_fn = gate.checkpoint
+            adapter.step_hook = gate.checkpoint
+            adapter.step_hook_every = 4000
+            if adapter.machine is not None:
+                adapter.machine.step_hook = gate.checkpoint
+                adapter.machine.step_hook_every = 4000
+        try:
+            run = _mitigate_supervised(
+                ctx, scenario, outcome, reexec, mclock, delay,
+                solution=self.solution, batch_size=1,
+                snapshotter=snapshotter, inject_plan=inject_plan,
+                max_crash_retries=self.max_crash_retries,
+            )
+        finally:
+            if installed:
+                ctx.yield_fn = None
+                adapter.step_hook = None
+                adapter.step_hook_every = 0
+                if adapter.machine is not None:
+                    adapter.machine.step_hook = None
+                    adapter.machine.step_hook_every = 0
+
+        h.mitigations += 1
+        h.attempts += run.attempts
+        h.leaked_blocks += run.leaked_blocks
+        if run.ladder is not None:
+            h.crash_retries += run.ladder.get("crash_retries", 0)
+        journal.complete("mitigate", run=run)
+        h.status = "mitigating" if not run.recovered else "resyncing"
+        return run
+
+    # ------------------------------------------------------------------
+    # phase 2b: rebuild (re-replication, the rung below the ladder)
+    # ------------------------------------------------------------------
+    def rebuild(self, node_id: int) -> bool:
+        """When the ladder cannot repair the pool, re-replicate instead.
+
+        The damaged pool is abandoned (:meth:`Cluster.rebuild_node`) and
+        resync later replays the node's whole oplog share from the
+        surviving replicas — the cluster analogue of the single-node
+        snapshot rung, except the "snapshot" is the replicas and is
+        always current.  No cluster op is lost; the node-local state the
+        pool held outside the oplog is the fault's blast radius.  A
+        no-op (journaled ``rebuilt=False``) when mitigation succeeded.
+        """
+        journal = self.journal(node_id)
+        if journal.done("rebuild"):
+            return bool(journal.completed["rebuild"]["rebuilt"])
+        entry = journal.completed.get("mitigate")
+        run = entry["run"] if entry is not None else None
+        rebuilt = run is not None and not run.recovered
+        if rebuilt:
+            self.cluster.rebuild_node(node_id)
+            self.health[node_id].status = "resyncing"
+        journal.complete("rebuild", rebuilt=rebuilt)
+        return rebuilt
+
+    # ------------------------------------------------------------------
+    # phase 3: cascade
+    # ------------------------------------------------------------------
+    def cascade(self, node_id: int, run: MitigationRun):
+        """Damage assessment + promotion-aware causal cascade.
+
+        Uses the ladder's reverted seqs; a coarse (snapshot) restore
+        falls back to diffing the node's pool against the oplog's last
+        surviving write per key.  Idempotent: re-entry after a crash
+        returns the journaled result (ops already reverted stay
+        reverted — reverts are pure functions of the log).
+        """
+        journal = self.journal(node_id)
+        if journal.done("cascade"):
+            info = journal.completed["cascade"]
+            return info["discarded"], info["cascaded"], info["rounds"]
+        seqs: Set[int] = set(run.reverted_seqs)
+        if run.coarse_restore:
+            seqs |= self._coarse_reverted_seqs(node_id)
+        discarded, cascaded, rounds = self.reactor.cascade_from(node_id, seqs)
+        # peers whose pools lost reverted state re-run local recovery
+        touched = {
+            nid
+            for op in discarded + cascaded
+            for nid in op.reverted_on
+            if nid != node_id and not self.cluster.is_down(nid)
+        }
+        for nid in sorted(touched):
+            peer = self.cluster.nodes[nid]
+            peer.restart()
+            peer.recover()
+        self.health[node_id].discarded_ops += len(discarded)
+        journal.complete(
+            "cascade", discarded=discarded, cascaded=cascaded, rounds=rounds
+        )
+        return discarded, cascaded, rounds
+
+    def _coarse_reverted_seqs(self, node_id: int) -> Set[int]:
+        """Snapshot-restore damage: seqs of ops whose last surviving
+        write no longer matches the node's pool."""
+        node = self.cluster.nodes[node_id]
+        latest: Dict[int, OpRecord] = {}
+        for op in self.cluster.ops_on_node(node_id):
+            if not op.discarded:
+                latest[op.key] = op
+        seqs: Set[int] = set()
+        for key, op in latest.items():
+            actual = node.lookup(key)
+            stale = (
+                actual != ABSENT if op.kind == "delete" else actual != op.value
+            )
+            if not stale:
+                continue
+            span = op.spans.get(node_id)
+            if span is not None and span[0] <= span[1]:
+                seqs.update(range(span[0], span[1] + 1))
+        return seqs
+
+    # ------------------------------------------------------------------
+    # phase 4: resync + handoff
+    # ------------------------------------------------------------------
+    def resync(self, node_id: int, clock: Optional[SimClock] = None) -> HealReport:
+        """Catch the healed node up, then hand it back as a replica.
+
+        Two crash-retried steps around the ``cluster.resync`` /
+        ``cluster.handoff`` sites:
+
+        * catch-up — revert the discards the cascade owed this node,
+          then replay the non-discarded oplog tail it missed (spans
+          recorded only after an apply completes, so a mid-replay crash
+          re-applies idempotently);
+        * handoff — demote (sticky) + mark up, in that order, so the
+          node never fronts reads between the two flags.
+        """
+        journal = self.journal(node_id)
+        h = self.health[node_id]
+        clock = clock or SimClock()
+        report = HealReport(node_id=node_id)
+        if not journal.done("resync"):
+            h.status = "resyncing"
+
+            def catchup() -> StepResult:
+                faultinject.fire("cluster.resync")
+                reverted = self.reactor.catchup_reverts(node_id)
+                replayed = self.cluster.replay_missed(
+                    node_id, tick=lambda: faultinject.fire("cluster.resync")
+                )
+                return StepResult(
+                    recovered=True, notes=f"reverted={reverted} replayed={replayed}",
+                    attempts=replayed,
+                )
+            res, retries = with_crash_retries(
+                catchup, self.cluster.nodes[node_id].pool, clock,
+                self.max_crash_retries,
+            )
+            journal.complete(
+                "resync", notes=res.notes, replayed=res.attempts,
+                crash_retries=retries,
+            )
+            h.crash_retries += retries
+            h.resync_lag = res.attempts
+        report.resync_replayed = journal.completed["resync"]["replayed"]
+        report.crash_retries += journal.completed["resync"]["crash_retries"]
+
+        if not journal.done("handoff"):
+            def handoff() -> StepResult:
+                self.cluster.ring.demote(node_id)
+                self.cluster.ring.mark_up(node_id)
+                faultinject.fire("cluster.handoff")
+                return StepResult(recovered=True)
+            _, retries = with_crash_retries(
+                handoff, self.cluster.nodes[node_id].pool, clock,
+                self.max_crash_retries,
+            )
+            journal.complete("handoff", crash_retries=retries)
+            h.crash_retries += retries
+        report.crash_retries += journal.completed["handoff"]["crash_retries"]
+        h.status = "demoted"
+        report.demoted = True
+        report.phases = journal.phases_done()
+        return report
+
+    # ------------------------------------------------------------------
+    # the whole protocol
+    # ------------------------------------------------------------------
+    def heal(
+        self,
+        node_id: int,
+        ctx,
+        scenario,
+        outcome,
+        detector,
+        monitor=None,
+        snapshotter=None,
+        inject_plan=None,
+        gate=None,
+        serve_between=None,
+        mclock: Optional[SimClock] = None,
+    ) -> HealReport:
+        """promote → [serve] → mitigate → cascade → resync/handoff.
+
+        ``serve_between()`` (if given) runs after promotion, before the
+        mitigation — the harness serves its during-mitigation window
+        there.  ``inject_plan`` is armed across all phases so the
+        ``cluster.*`` second-fault sites can fire.
+        """
+        mclock = mclock or SimClock()
+        report = HealReport(node_id=node_id)
+        cm = (
+            faultinject.activate(inject_plan)
+            if inject_plan is not None else nullcontext()
+        )
+        with cm:
+            report.crash_retries += self.promote(node_id, clock=mclock)
+            report.promoted = True
+            if serve_between is not None:
+                serve_between()
+            run = self.mitigate(
+                node_id, ctx, scenario, outcome, detector,
+                monitor=monitor, snapshotter=snapshotter,
+                inject_plan=inject_plan, gate=gate, mclock=mclock,
+            )
+            report.run = run
+            report.recovered = run.recovered
+            if run.ladder is not None:
+                report.recovered_by = run.ladder.get("recovered_by", "") or ""
+            if self.rebuild(node_id):
+                report.recovered = True
+                report.recovered_by = "rebuild"
+            if not report.recovered:
+                report.phases = self.journal(node_id).phases_done()
+                return report
+            discarded, cascaded, rounds = self.cascade(node_id, run)
+            report.discarded_ops = discarded
+            report.cascaded_ops = cascaded
+            report.cascade_rounds = rounds
+            sub = self.resync(node_id, clock=mclock)
+            report.resync_replayed = sub.resync_replayed
+            report.crash_retries += sub.crash_retries
+            report.demoted = sub.demoted
+        report.phases = self.journal(node_id).phases_done()
+        return report
+
+    # ------------------------------------------------------------------
+    def health_table(self) -> List[Dict[str, object]]:
+        return [self.health[i].to_json() for i in range(self.cluster.n_nodes)]

@@ -60,7 +60,21 @@ site family                fired from
 ``revert.cut``             before each rollback cut / purge group
 ``revert.commit``          after a cut is applied, before its intent is
                            marked done
+``cluster.promote``        :meth:`ShardManager.promote`, after the sick
+                           node is marked down on the ring, before the
+                           promotion journal entry completes
+``cluster.resync``         :meth:`ShardManager.resync`, at the start of
+                           the catch-up pass and before each replayed
+                           oplog-tail op
+``cluster.handoff``        :meth:`ShardManager.resync`, after the healed
+                           node is demoted + marked up, before the
+                           journal records the handoff
 =========================  ====================================================
+
+The ``cluster.*`` sites model a *second* fault arriving mid-promotion:
+only ``crash`` applies there (the supervisor is host-side code — there
+is no torn store or checkpoint record to corrupt), and every phase is
+journaled so a crashed-and-retried promotion converges.
 """
 
 from __future__ import annotations
@@ -82,6 +96,9 @@ FUZZ_KINDS = ("crash", "torn", "skip-flush", "skip-fence")
 #: boundaries only, so occurrence counts are identical whatever recovery
 #: solution (checkpointing or not) is attached to the run
 FUZZ_SITES = ("pmem.flush", "pmem.fence")
+
+#: shard-supervisor phase boundaries (promotion protocol); crash-only
+CLUSTER_SITES = ("cluster.promote", "cluster.resync", "cluster.handoff")
 
 #: kinds that only make sense at specific site families
 _TORN_SITES = ("pmem.fence",)

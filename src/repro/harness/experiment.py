@@ -133,6 +133,14 @@ class MitigationRun:
     #: instead of being folded into duration_seconds
     analysis_seconds: float = 0.0
     reactor_requests: int = 0
+    #: checkpoint sequence numbers the reverter-based rungs reverted —
+    #: the distributed coordinator's damage-assessment input (it maps
+    #: them through the cluster oplog to discarded client ops)
+    reverted_seqs: List[int] = field(default_factory=list)
+    #: True when recovery came from a whole-pool snapshot restore: the
+    #: revert set is then not seq-addressable and damage assessment
+    #: must fall back to state diffing
+    coarse_restore: bool = False
 
     @property
     def discarded_pct(self) -> float:
@@ -489,6 +497,7 @@ def _make_rounds_runner(
                 mres = reverter.mitigate_purge(plan, batch_size=batch_size)
             run.attempts += mres.attempts
             run.reverted_updates += mres.discarded_updates
+            run.reverted_seqs.extend(mres.reverted_seqs)
             run.plan_candidates = max(run.plan_candidates, len(plan.candidates))
             run.slice_size = max(run.slice_size, plan.slice_size)
             run.pm_slice_size = max(run.pm_slice_size, plan.pm_slice_size)
@@ -671,6 +680,7 @@ def _mitigate_supervised(
             )
             run.attempts += mres.attempts
             run.reverted_updates += mres.discarded_updates
+            run.reverted_seqs.extend(mres.reverted_seqs)
             run.notes = mres.notes
             return StepResult(recovered=mres.recovered, attempts=mres.attempts,
                               timed_out=mres.timed_out, notes=mres.notes)
@@ -683,6 +693,8 @@ def _mitigate_supervised(
                 timeout_seconds=MITIGATION_TIMEOUT,
             )
             run.attempts += mres.attempts
+            if mres.recovered:
+                run.coarse_restore = True
             note = mres.notes or "restored from periodic snapshot"
             run.notes = (run.notes + "; " if run.notes else "") + note
             return StepResult(recovered=mres.recovered, attempts=mres.attempts,
@@ -775,6 +787,7 @@ def _to_run(solution: str, mres: MitigationResult, adapter) -> MitigationRun:
         total_updates=total,
         timed_out=mres.timed_out,
         notes=mres.notes,
+        reverted_seqs=list(mres.reverted_seqs),
     )
 
 

@@ -279,6 +279,53 @@ class _CooperativeGate:
         self._grant.set()
 
 
+class WorkerGate:
+    """Thread-only turnstile between a serving thread and a mitigation
+    worker — the synchronous analogue of :class:`_CooperativeGate` for
+    callers without an event loop (the shard supervisor runs a sick
+    node's mitigation in a plain thread while the cluster keeps serving
+    healthy shards from the caller's thread).
+
+    Strict alternation again: the worker parks at every
+    :meth:`checkpoint`; the serving side observes the park with
+    :meth:`wait_parked`, does its serving turn, and :meth:`resume`\\ s.
+    Exactly one side is ever active, so no shared state needs finer
+    locking.  :meth:`close` retires the gate — late checkpoints become
+    no-ops, so the worker can finish after the serving side stops
+    listening.
+    """
+
+    def __init__(self) -> None:
+        self._parked = threading.Event()
+        self._grant = threading.Event()
+        self.checkpoints = 0
+        self.closed = False
+
+    def checkpoint(self) -> None:
+        """Worker side: park until the serving side resumes us."""
+        if self.closed:
+            return
+        self.checkpoints += 1
+        self._grant.clear()
+        self._parked.set()
+        self._grant.wait()
+
+    def wait_parked(self, timeout: Optional[float] = None) -> bool:
+        """Serving side: True once the worker is parked at a checkpoint."""
+        return self._parked.wait(timeout)
+
+    def resume(self) -> None:
+        """Serving side: let the worker run to its next checkpoint."""
+        self._parked.clear()
+        self._grant.set()
+
+    def close(self) -> None:
+        """Retire the gate, releasing a parked worker for good."""
+        self.closed = True
+        self._parked.clear()
+        self._grant.set()
+
+
 def _percentile(sorted_lat: List[float], q: float) -> float:
     if not sorted_lat:
         return 0.0

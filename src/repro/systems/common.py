@@ -33,6 +33,13 @@ from repro.pmem.allocator import PMAllocator
 from repro.pmem.pool import PMPool
 from repro.pmem.tx import TransactionManager
 
+#: the miss sentinel every adapter's ``lookup`` returns.  Layers that
+#: build on the lookup protocol (the distributed cluster, derived
+#: writes) must compare against this constant — and must refuse to
+#: *store* it, or a real stored -1 becomes indistinguishable from a
+#: miss.
+ABSENT = -1
+
 
 class _StaticArtifacts:
     """Per-class compile/analyze/instrument results (computed once)."""
@@ -170,7 +177,7 @@ class SystemAdapter:
         raise NotImplementedError
 
     def lookup(self, key: int) -> int:
-        """Returns the stored value or -1 on miss."""
+        """Returns the stored value or :data:`ABSENT` (-1) on miss."""
         raise NotImplementedError
 
     def delete(self, key: int) -> int:

@@ -37,6 +37,20 @@ def test_run_failing_solution_returns_nonzero(capsys):
     assert main(["run", "--fault", "f11", "--solution", "arckpt"]) == 1
 
 
+def test_cluster_status(capsys):
+    assert main(["cluster-status"]) == 0
+    out = capsys.readouterr().out
+    assert "recovered=True" in out
+    assert "demoted" in out and "serving" in out
+
+
+def test_cluster_sweep_quick_check(capsys):
+    # the committed report must match a fresh quick sweep (CI drift job)
+    assert main(["cluster-sweep", "--quick", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "converged" in out
+
+
 def test_parser_rejects_unknown():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--fault", "f99"])

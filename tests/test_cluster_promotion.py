@@ -1,0 +1,303 @@
+"""Tests for the shard supervisor: promotion, crash-safe heal phases,
+serving through a sick shard's mitigation, and health accounting."""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro import faultinject
+from repro.detector.monitor import Detector
+from repro.distributed.cluster import Cluster, ClusterClient
+from repro.distributed.shardmgr import ShardManager
+from repro.faultinject import InjectionPlan, InjectionSpec
+from repro.faults.registry import scenario_by_id
+from repro.harness.experiment import ExperimentContext, MitigationRun
+from repro.reactor.server import WorkerGate
+from repro.systems.common import ABSENT
+
+
+def _wedged_cluster(seed=0, n_nodes=3, replication=2, warm=40):
+    """A cluster with node 0 wedged by the memcached f1 refcount bug,
+    detected and confirmed; ready for the promotion protocol."""
+    scenario = scenario_by_id("f1")
+    cluster = Cluster(
+        n_nodes=n_nodes, n_clients=2, seed=seed, replication=replication
+    )
+    a = ClusterClient(cluster, 0)
+    for key in range(warm):
+        a.insert(key, 500 + key)
+    node0 = cluster.nodes[0]
+    ctx = ExperimentContext(node0, scenario, seed)
+    # the node's logical truth is the cluster's per-node oracle; the
+    # scenario's node-local trigger traffic maintains the same dict
+    ctx.oracle = cluster.oracles[0]
+    scenario.trigger(ctx)
+    detector = Detector()
+    outcome = detector.observe(node0.machine, lambda: scenario.manifest(ctx))
+    assert not outcome.ok and outcome.fault is not None
+    return cluster, ctx, scenario, detector, outcome
+
+
+@pytest.fixture(scope="module")
+def healed():
+    """One full trip through the promotion protocol, with a crash
+    injected at the ``cluster.promote`` site and a serving window
+    between promotion and mitigation.  Module-scoped: the assertions
+    below are all post-heal reads."""
+    cluster, ctx, scenario, detector, outcome = _wedged_cluster()
+    b = ClusterClient(cluster, 1)
+    mgr = ShardManager(cluster, solution="arthas", seed=0)
+    mgr.note_verdict(0)
+    # keys whose pre-fault primary is node 0: written during the window,
+    # they must fail over now and land back on node 0 via re-sync
+    arc_keys = cluster.keys_for_node(0, 3, start=1000)
+    plan = InjectionPlan([InjectionSpec("cluster.promote", 1, "crash")])
+    window = SimpleNamespace(
+        reads=[], writes=[], routed=[], down_during_window=False
+    )
+
+    def serve_between():
+        window.down_during_window = cluster.is_down(0)
+        for key in range(6):  # healthy-shard reads keep flowing
+            window.reads.append(b.lookup(key))
+        for key in arc_keys:  # the sick arc accepts writes via replicas
+            rec = b.insert(key, 9000 + key)
+            window.writes.append(rec)
+            window.routed.append(rec.node)
+
+    report = mgr.heal(
+        0, ctx, scenario, outcome, detector,
+        inject_plan=plan, serve_between=serve_between,
+    )
+    return SimpleNamespace(
+        cluster=cluster, mgr=mgr, report=report, plan=plan,
+        window=window, arc_keys=arc_keys,
+    )
+
+
+class TestHeal:
+    def test_happy_path_recovers_and_demotes(self, healed):
+        rep = healed.report
+        assert rep.promoted and rep.recovered and rep.demoted
+        assert rep.recovered_by != ""
+        assert rep.phases == [
+            "promote", "mitigate", "rebuild", "cascade", "resync", "handoff"
+        ]
+        # mitigation succeeded, so the re-replication rung was a no-op
+        assert not healed.mgr.journal(0).completed["rebuild"]["rebuilt"]
+
+    def test_promote_crash_converged_on_retry(self, healed):
+        # the injected second fault at cluster.promote was retried
+        assert healed.plan.all_fired
+        assert healed.report.crash_retries >= 1
+
+    def test_serving_continued_while_down(self, healed):
+        w = healed.window
+        assert w.down_during_window
+        # healthy-shard reads all answered during the window
+        assert w.reads == [500 + k for k in range(6)]
+        # the sick arc's writes failed over to live replicas
+        assert all(node != 0 for node in w.routed)
+
+    def test_resync_replays_missed_tail_onto_healed_node(self, healed):
+        node0 = healed.cluster.nodes[0]
+        replayed = [op for op in healed.window.writes if 0 in op.spans]
+        assert replayed, "no window write was re-synced onto node 0"
+        for op in replayed:
+            assert node0.lookup(op.key) == op.value
+        assert healed.report.resync_replayed >= len(replayed)
+
+    def test_sticky_demotion_shapes_routing(self, healed):
+        ring = healed.cluster.ring
+        assert 0 in ring.demoted and not ring.is_down(0)
+        for key in healed.arc_keys:
+            assert healed.cluster.node_for(key) != 0
+            # ...but the healed node is back on replica duty
+            assert 0 in healed.cluster.replica_nodes_for(key)
+
+    def test_health_scores(self, healed):
+        table = healed.mgr.health_table()
+        sick = table[0]
+        assert sick["status"] == "demoted"
+        assert sick["verdicts"] == 1 and sick["mitigations"] == 1
+        assert 0 < sick["score"] < 100
+        for row in table[1:]:
+            assert row["status"] == "serving" and row["score"] == 100
+
+    def test_journaled_phases_reenter_as_noops(self, healed):
+        # a supervisor retrying after a crash must not redo work
+        assert healed.mgr.promote(0) == 0
+        again = healed.mgr.resync(0)
+        assert again.resync_replayed == healed.report.resync_replayed
+        journal = healed.mgr.journal(0)
+        assert journal.phases_done() == list(journal.PHASES)
+
+
+def _promoted_cluster_without_fault(seed=3):
+    """Promotion + serving window, with the mitigate/cascade phases
+    journaled as already-done — isolates the resync/handoff machinery
+    (and its crash sites) from the expensive ladder."""
+    cluster = Cluster(n_nodes=3, n_clients=2, seed=seed, replication=2)
+    a = ClusterClient(cluster, 0)
+    for key in range(30):
+        a.insert(key, 500 + key)
+    mgr = ShardManager(cluster, seed=seed)
+    arc_keys = cluster.keys_for_node(0, 4, start=1000)
+    mgr.promote(0)
+    writes = [a.insert(k, 7000 + k) for k in arc_keys]
+    journal = mgr.journal(0)
+    journal.complete(
+        "mitigate", run=MitigationRun(solution="arthas", recovered=True)
+    )
+    journal.complete("cascade", discarded=[], cascaded=[], rounds=0)
+    return cluster, mgr, writes
+
+
+class TestCrashAtHealSites:
+    @pytest.mark.parametrize("occurrence", [1, 2])
+    def test_resync_crash_converges(self, occurrence):
+        cluster, mgr, writes = _promoted_cluster_without_fault()
+        plan = InjectionPlan(
+            [InjectionSpec("cluster.resync", occurrence, "crash")]
+        )
+        with faultinject.activate(plan):
+            rep = mgr.resync(0)
+        assert plan.all_fired and rep.crash_retries >= 1
+        assert rep.demoted and not cluster.is_down(0)
+        # the replay converged: every window write the healed node now
+        # participates in is present on its pool, exactly once
+        node0 = cluster.nodes[0]
+        replayed = [op for op in writes if 0 in op.spans]
+        assert replayed
+        for op in replayed:
+            assert node0.lookup(op.key) == op.value
+
+    def test_handoff_crash_converges(self):
+        cluster, mgr, writes = _promoted_cluster_without_fault(seed=4)
+        plan = InjectionPlan([InjectionSpec("cluster.handoff", 1, "crash")])
+        with faultinject.activate(plan):
+            rep = mgr.resync(0)
+        assert plan.all_fired and rep.crash_retries >= 1
+        assert rep.demoted
+        assert 0 in cluster.ring.demoted and not cluster.is_down(0)
+
+    def test_promote_crash_converges(self):
+        cluster = Cluster(n_nodes=2, n_clients=1, seed=5)
+        ClusterClient(cluster, 0).insert(0, 1)
+        mgr = ShardManager(cluster)
+        plan = InjectionPlan([InjectionSpec("cluster.promote", 1, "crash")])
+        with faultinject.activate(plan):
+            retries = mgr.promote(0)
+        assert plan.all_fired and retries >= 1
+        assert cluster.is_down(0)
+        assert mgr.journal(0).done("promote")
+
+
+class TestRebuild:
+    def test_failed_ladder_rebuilds_from_replicas(self):
+        """When mitigation cannot repair the pool, the supervisor
+        abandons it and resync re-replicates the node's whole oplog
+        share from the surviving replicas."""
+        cluster = Cluster(n_nodes=3, n_clients=2, seed=8, replication=2)
+        a = ClusterClient(cluster, 0)
+        for key in range(30):
+            a.insert(key, 500 + key)
+        mgr = ShardManager(cluster, seed=8)
+        mgr.promote(0)
+        old_pool = cluster.nodes[0].pool
+        share = [op for op in cluster.oplog if 0 in op.spans]
+        assert share
+        journal = mgr.journal(0)
+        journal.complete(
+            "mitigate", run=MitigationRun(solution="arthas", recovered=False)
+        )
+        assert mgr.rebuild(0) is True
+        assert cluster.nodes[0].pool is not old_pool
+        journal.complete("cascade", discarded=[], cascaded=[], rounds=0)
+        rep = mgr.resync(0)
+        # the fresh pool re-learned every op of the node's replica share
+        assert rep.resync_replayed == len(share)
+        node0 = cluster.nodes[0]
+        for op in share:
+            assert 0 in op.spans
+            assert node0.lookup(op.key) == op.value
+        assert rep.demoted and not cluster.is_down(0)
+
+    def test_rebuild_is_noop_after_successful_mitigation(self):
+        cluster = Cluster(n_nodes=3, n_clients=2, seed=9, replication=2)
+        ClusterClient(cluster, 0).insert(0, 1)
+        mgr = ShardManager(cluster, seed=9)
+        mgr.promote(0)
+        pool = cluster.nodes[0].pool
+        mgr.journal(0).complete(
+            "mitigate", run=MitigationRun(solution="arthas", recovered=True)
+        )
+        assert mgr.rebuild(0) is False
+        assert cluster.nodes[0].pool is pool
+        # journaled: re-entry gives the same answer without a second look
+        assert mgr.rebuild(0) is False
+
+
+class TestServeDuringMitigation:
+    def test_reads_interleave_with_mitigation_chunks(self):
+        """The ISSUE's serve-during-mitigation check: a serving thread
+        answers healthy-shard and promoted-primary reads between the
+        sick node's mitigation chunks (WorkerGate turnstile)."""
+        cluster, ctx, scenario, detector, outcome = _wedged_cluster(seed=1)
+        b = ClusterClient(cluster, 1)
+        mgr = ShardManager(cluster, seed=1)
+        mgr.promote(0)
+        gate = WorkerGate()
+        result = {}
+
+        def work():
+            result["run"] = mgr.mitigate(
+                0, ctx, scenario, outcome, detector, gate=gate
+            )
+
+        worker = threading.Thread(target=work)
+        worker.start()
+        served = []
+        while worker.is_alive():
+            if not gate.wait_parked(timeout=0.5):
+                continue
+            # mid-mitigation serving turn: every shard still answers
+            for key in range(3):
+                served.append(b.lookup(key))
+            gate.resume()
+        gate.close()
+        worker.join()
+        assert result["run"].recovered
+        assert gate.checkpoints >= 3
+        assert len(served) >= 9
+        assert all(v == 500 + (i % 3) for i, v in enumerate(served))
+
+
+class TestTwoNodeSequentialHeal:
+    def test_second_shard_heals_while_first_is_demoted(self):
+        """A second hard fault after a completed heal: the demoted
+        first node keeps replica duty while the second runs the full
+        protocol; the cluster ends with both demoted and serving."""
+        cluster, mgr, _ = (*_promoted_cluster_without_fault(seed=6),)
+        mgr.resync(0)
+        assert 0 in cluster.ring.demoted
+        # now node 1 goes down (journal-only heal: the machinery under
+        # test is ring state + resync under an existing demotion)
+        probe = cluster.keys_for_node(1, 2, start=2000)
+        mgr.promote(1)
+        a = ClusterClient(cluster, 0)
+        recs = [a.insert(k, 4000 + k) for k in probe]
+        assert all(rec.node != 1 for rec in recs)
+        journal = mgr.journal(1)
+        journal.complete(
+            "mitigate", run=MitigationRun(solution="arthas", recovered=True)
+        )
+        journal.complete("cascade", discarded=[], cascaded=[], rounds=0)
+        rep = mgr.resync(1)
+        assert rep.demoted
+        assert cluster.ring.demoted == {0, 1}
+        assert not cluster.ring.down
+        # with every original candidate demoted the ring still serves
+        for k in probe:
+            assert a.lookup(k) == 4000 + k

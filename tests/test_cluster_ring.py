@@ -1,0 +1,138 @@
+"""Tests for the consistent-hash ring (distributed placement layer)."""
+
+import pytest
+
+from repro.distributed.ring import HashRing
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        r1 = HashRing(range(5), vnodes=32, seed=7)
+        r2 = HashRing(range(5), vnodes=32, seed=7)
+        for key in range(200):
+            assert r1.primary_for(key) == r2.primary_for(key)
+            assert r1.preference_list(key) == r2.preference_list(key)
+
+    def test_seed_changes_placement(self):
+        r1 = HashRing(range(5), seed=0)
+        r2 = HashRing(range(5), seed=1)
+        assert any(
+            r1.primary_for(k) != r2.primary_for(k) for k in range(200)
+        )
+
+    def test_every_node_owns_keys(self):
+        ring = HashRing(range(4))
+        owners = {ring.primary_for(k) for k in range(400)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_balance_is_roughly_even(self):
+        ring = HashRing(range(4), vnodes=64)
+        counts = {n: 0 for n in range(4)}
+        for key in range(4000):
+            counts[ring.primary_for(key)] += 1
+        # virtual nodes keep the spread within a loose factor of fair
+        assert min(counts.values()) > 4000 / 4 / 3
+        assert max(counts.values()) < 4000 / 4 * 3
+
+    def test_preference_list_covers_all_nodes_once(self):
+        ring = HashRing(range(5))
+        for key in (0, 17, 123456):
+            pl = ring.preference_list(key)
+            assert sorted(pl) == [0, 1, 2, 3, 4]
+
+    def test_empty_ring(self):
+        ring = HashRing([])
+        assert ring.preference_list(1) == []
+        assert ring.primary_for(1) is None
+        assert ring.replica_set(1, 2) == []
+
+
+class TestMembership:
+    def test_join_remaps_only_a_fraction(self):
+        before = HashRing(range(4), vnodes=64)
+        after = HashRing(range(4), vnodes=64)
+        after.add_node(4)
+        keys = range(4000)
+        moved = sum(
+            1 for k in keys if before.primary_for(k) != after.primary_for(k)
+        )
+        # the new node takes ~1/5 of the space; modulo routing would
+        # have remapped ~4/5 of all keys
+        assert moved < len(keys) * 0.4
+        # and everything that moved, moved TO the new node
+        for k in keys:
+            if before.primary_for(k) != after.primary_for(k):
+                assert after.primary_for(k) == 4
+
+    def test_leave_remaps_only_the_leavers_keys(self):
+        before = HashRing(range(5), vnodes=64)
+        after = HashRing(range(5), vnodes=64)
+        after.remove_node(2)
+        for k in range(2000):
+            if before.primary_for(k) != 2:
+                assert after.primary_for(k) == before.primary_for(k)
+            else:
+                assert after.primary_for(k) != 2
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(range(3))
+        points = list(ring._points)
+        ring.add_node(1)
+        assert ring._points == points
+
+
+class TestStatus:
+    def test_mark_down_promotes_next_preference_node(self):
+        ring = HashRing(range(3))
+        key = next(k for k in range(1000) if ring.primary_for(k) == 0)
+        pl = ring.preference_list(key)
+        ring.mark_down(0)
+        assert ring.primary_for(key) == pl[1]
+        ring.mark_up(0)
+        assert ring.primary_for(key) == 0
+
+    def test_down_node_never_in_replica_set(self):
+        ring = HashRing(range(4))
+        ring.mark_down(1)
+        for key in range(300):
+            assert 1 not in ring.replica_set(key, 3)
+
+    def test_all_down_returns_none(self):
+        ring = HashRing(range(2))
+        ring.mark_down(0)
+        ring.mark_down(1)
+        assert ring.primary_for(5) is None
+        assert ring.replica_set(5, 2) == []
+
+    def test_demoted_node_serves_as_replica_not_primary(self):
+        ring = HashRing(range(3))
+        key = next(k for k in range(1000) if ring.primary_for(k) == 0)
+        ring.demote(0)
+        assert ring.primary_for(key) != 0
+        assert 0 in ring.replica_set(key, 3)
+        ring.undemote(0)
+        assert ring.primary_for(key) == 0
+
+    def test_demoted_fronts_reads_when_no_better_candidate(self):
+        ring = HashRing(range(2))
+        ring.demote(0)
+        ring.demote(1)
+        assert ring.primary_for(3) is not None
+
+    def test_whatif_down_set_for_resync_eligibility(self):
+        # catch-up asks who serves a key once the healing node is back
+        # up, without flipping the real flag
+        ring = HashRing(range(3))
+        key = next(k for k in range(1000) if ring.primary_for(k) == 0)
+        ring.mark_down(0)
+        assert 0 not in ring.replica_set(key, 2)
+        whatif = ring.down - {0}
+        assert 0 in ring.replica_set(key, 2, down=whatif)
+        assert ring.is_down(0)  # the real flag never moved
+
+    def test_replica_set_size_bounded_by_live_nodes(self):
+        ring = HashRing(range(3))
+        ring.mark_down(2)
+        for key in range(100):
+            rs = ring.replica_set(key, 3)
+            assert len(rs) == 2 and 2 not in rs

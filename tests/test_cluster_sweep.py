@@ -1,0 +1,102 @@
+"""Tests for the cluster fault sweep: promotion-healed convergence,
+promoted-vs-quiesced digest equality, the rebuild rung at cluster
+scale, and the committed-report drift check."""
+
+import json
+
+import pytest
+
+from repro.harness.cluster_sweep import (
+    CRASH_TARGET,
+    DEFAULT_SWEEP_SEED,
+    QUICK_CRASH_CELLS,
+    QUICK_FIDS,
+    _run_cell,
+    check_against,
+    run_cluster_sweep,
+    target_shard,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_cluster_sweep(quick=True)
+
+
+class TestQuickSweep:
+    def test_all_cells_converge(self, quick_report):
+        assert quick_report.all_converged
+        for cell in quick_report.cells:
+            assert cell.manifested, cell.cell_key
+            assert cell.recovered and cell.demoted, cell.cell_key
+
+    def test_digest_equality_across_modes(self, quick_report):
+        # the promoted run (serving during mitigation) converged to the
+        # byte-identical per-node state of the quiesced oracle run
+        for cell in quick_report.cells:
+            assert cell.digests_match, cell.cell_key
+            assert len(cell.digests) == quick_report.n_nodes
+
+    def test_causal_cut_and_serving(self, quick_report):
+        for cell in quick_report.cells:
+            assert cell.causal_cut_ok, cell.cell_key
+            assert cell.serving_ok, cell.notes or cell.cell_key
+
+    def test_quick_is_strict_subset_of_full_cells(self, quick_report):
+        # the drift check depends on quick cells matching the committed
+        # full sweep cell-for-cell: same key derivation, same seeds
+        keys = [c.cell_key for c in quick_report.cells]
+        want = [f"{fid}@n{target_shard(fid)}" for fid in QUICK_FIDS] + [
+            f"f1@n{CRASH_TARGET}+{site}#{occ}"
+            for site, occ in QUICK_CRASH_CELLS
+        ]
+        assert keys == want
+
+    def test_heal_crash_cell_retried(self, quick_report):
+        crash_cells = [c for c in quick_report.cells if c.site]
+        assert crash_cells
+        for cell in crash_cells:
+            assert cell.crash_retries >= 1, cell.cell_key
+
+
+class TestRebuildCell:
+    def test_unmitigable_fault_recovers_via_rebuild(self):
+        # f23 defeats every arthas ladder rung in the single-node matrix;
+        # the cluster recovers anyway by re-replicating from replicas
+        cell = _run_cell("f23", target_shard("f23"), DEFAULT_SWEEP_SEED)
+        assert cell.manifested
+        assert cell.recovered and cell.recovered_by == "rebuild"
+        assert cell.converged, cell.notes
+
+
+class TestDriftCheck:
+    def test_matches_itself(self, quick_report):
+        committed = json.loads(json.dumps(quick_report.to_json()))
+        assert check_against(quick_report, committed) == []
+
+    def test_flags_contract_drift(self, quick_report):
+        committed = json.loads(json.dumps(quick_report.to_json()))
+        committed["cells"][0]["recovered"] = False
+        problems = check_against(quick_report, committed)
+        assert any("drifted on recovered" in p for p in problems)
+
+    def test_flags_missing_cell_and_config_mismatch(self, quick_report):
+        committed = json.loads(json.dumps(quick_report.to_json()))
+        committed["cells"] = committed["cells"][1:]
+        problems = check_against(quick_report, committed)
+        assert any("missing from committed report" in p for p in problems)
+        committed["sweep_seed"] = DEFAULT_SWEEP_SEED + 1
+        problems = check_against(quick_report, committed)
+        assert problems == [
+            f"sweep_seed mismatch: committed {DEFAULT_SWEEP_SEED + 1} "
+            f"vs {DEFAULT_SWEEP_SEED}"
+        ]
+
+    def test_committed_report_is_current(self, quick_report):
+        # the repo's committed sweep must cover the quick cells exactly
+        # as they run today — the CI drift job's contract
+        with open("results/cluster_sweep.json") as f:
+            committed = json.load(f)
+        assert check_against(quick_report, committed) == []
+        assert committed["all_converged"]
+        assert committed["cells_total"] >= 28

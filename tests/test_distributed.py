@@ -3,9 +3,16 @@
 import pytest
 
 from repro.detector.monitor import Detector
-from repro.distributed.cluster import Cluster, ClusterClient, vc_leq, vc_less, vc_merge
+from repro.distributed.cluster import (
+    Cluster,
+    ClusterClient,
+    ShardUnavailable,
+    vc_leq,
+    vc_less,
+    vc_merge,
+)
 from repro.distributed.recovery import DistributedReactor
-from repro.errors import Trap
+from repro.systems.common import ABSENT
 
 
 class TestVectorClocks:
@@ -29,15 +36,26 @@ class TestVectorClocks:
             vc_merge((1,), (1, 2))
 
 
+def _key_avoiding(cluster, primary, avoid_nodes, start=0):
+    """A key whose whole replica set avoids ``avoid_nodes``."""
+    key = start
+    while True:
+        nodes = cluster.replica_nodes_for(key)
+        if nodes and nodes[0] == primary and not (set(nodes) & set(avoid_nodes)):
+            return key
+        key += 1
+        assert key < start + 2_000_000
+
+
 class TestCluster:
     def test_routing_and_lookup(self):
         cluster = Cluster(n_nodes=3)
         client = ClusterClient(cluster, 0)
-        for key in range(12):
+        for key in range(24):
             client.insert(key, 100 + key)
-        assert all(client.lookup(k) == 100 + k for k in range(12))
-        # keys spread over all nodes
-        assert {cluster.node_for(k) for k in range(12)} == {0, 1, 2}
+        assert all(client.lookup(k) == 100 + k for k in range(24))
+        # the ring spreads keys over all nodes
+        assert {cluster.node_for(k) for k in range(24)} == {0, 1, 2}
 
     def test_oplog_records_sequence_spans(self):
         cluster = Cluster(n_nodes=2)
@@ -46,23 +64,53 @@ class TestCluster:
         assert rec.first_seq <= rec.last_seq
         node = cluster.nodes[rec.node]
         assert node.ckpt.log.max_seq() >= rec.last_seq
+        # replication: a span on the primary AND each replica
+        assert len(rec.spans) == cluster.replication == 2
+        assert rec.spans[rec.node] == (rec.first_seq, rec.last_seq)
+
+    def test_replicas_hold_the_data(self):
+        cluster = Cluster(n_nodes=3, replication=2)
+        client = ClusterClient(cluster, 0)
+        rec = client.insert(17, 1717)
+        for nid in rec.spans:
+            assert cluster.nodes[nid].lookup(17) == 1717
 
     def test_vector_clocks_capture_causality(self):
-        cluster = Cluster(n_nodes=3, n_clients=2)
+        # five nodes so two keys can have fully disjoint replica sets
+        cluster = Cluster(n_nodes=5, n_clients=2)
         a = ClusterClient(cluster, 0)
         b = ClusterClient(cluster, 1)
-        r1 = a.insert(0, 1)      # client 0 on node 0
-        r2 = a.insert(1, 2)      # client 0 on node 1: after r1
-        r3 = b.insert(2, 3)      # client 1 on node 2: independent of r1
+        k1 = _key_avoiding(cluster, 0, [])
+        set1 = cluster.replica_nodes_for(k1)
+        k2 = _key_avoiding(cluster, set1[1], [])  # touches a shared node
+        outside = [n for n in range(5) if n not in set1]
+        k3 = _key_avoiding(cluster, outside[0], set1)
+        r1 = a.insert(k1, 1)     # client 0
+        r2 = a.insert(k2, 2)     # client 0 again: after r1 via the client
+        r3 = b.insert(k3, 3)     # client 1, disjoint replica set: independent
         assert vc_less(r1.vc, r2.vc)
         assert not vc_less(r1.vc, r3.vc)
+
+    def test_replica_stamping_is_one_way(self):
+        # an op on primary P replicated to R must not serialize a later
+        # op whose primary is elsewhere — but a later op *primaried* on
+        # R must inherit it (reads after promotion stay causal)
+        cluster = Cluster(n_nodes=5, n_clients=2)
+        a = ClusterClient(cluster, 0)
+        b = ClusterClient(cluster, 1)
+        k1 = _key_avoiding(cluster, 0, [])
+        replica = cluster.replica_nodes_for(k1)[1]
+        r1 = a.insert(k1, 10)
+        k_on_replica = _key_avoiding(cluster, replica, [])
+        r2 = b.insert(k_on_replica, 20)
+        assert vc_less(r1.vc, r2.vc)  # replica stored r1, so its events follow
 
     def test_read_creates_causal_edge(self):
         cluster = Cluster(n_nodes=2, n_clients=2)
         a = ClusterClient(cluster, 0)
         b = ClusterClient(cluster, 1)
         r1 = a.insert(0, 41)
-        b.lookup(0)              # b observes node 0's state
+        b.lookup(0)              # b observes the primary's state
         r2 = b.insert(1, 42)     # now causally after r1
         assert vc_less(r1.vc, r2.vc)
 
@@ -93,6 +141,35 @@ class TestCluster:
         hit = cluster.ops_overlapping_seqs(0, every_seq)
         assert rec in hit and empty not in hit
 
+    def test_ops_on_node_uses_per_node_index(self):
+        cluster = Cluster(n_nodes=3, replication=2)
+        client = ClusterClient(cluster, 0)
+        recs = [client.insert(k, k) for k in range(12)]
+        for nid in range(3):
+            indexed = cluster.ops_on_node(nid)
+            scanned = [op for op in cluster.oplog if nid in op.spans]
+            assert indexed == scanned
+        # replication means an op shows up on every node it touched
+        assert sum(len(cluster.ops_on_node(n)) for n in range(3)) == 2 * len(recs)
+
+    def test_delete_records_value_none(self):
+        cluster = Cluster(n_nodes=1)
+        client = ClusterClient(cluster, 0)
+        client.insert(0, 0)          # a real stored zero
+        rec = client.delete(0)
+        assert rec.kind == "delete" and rec.value is None
+
+    def test_absent_sentinel_is_not_storable(self):
+        cluster = Cluster(n_nodes=1)
+        client = ClusterClient(cluster, 0)
+        with pytest.raises(ValueError, match="ABSENT"):
+            client.insert(5, ABSENT)
+        # a genuinely stored -1 can therefore never exist, so the miss
+        # protocol stays unambiguous; values near it are fine
+        client.insert(5, -2)
+        assert client.lookup(5) == -2
+        assert client.lookup(12345) == ABSENT
+
     def test_derived_insert(self):
         cluster = Cluster(n_nodes=2)
         client = ClusterClient(cluster, 0)
@@ -103,34 +180,64 @@ class TestCluster:
         assert vc_less(r1.vc, r2.vc)
         assert client.derived_insert(99, 3) is None  # missing source
 
+    def test_shard_unavailable_when_chain_down(self):
+        cluster = Cluster(n_nodes=2, replication=2)
+        client = ClusterClient(cluster, 0)
+        client.insert(3, 33)
+        cluster.ring.mark_down(0)
+        cluster.ring.mark_down(1)
+        with pytest.raises(ShardUnavailable):
+            client.lookup(3)
+        with pytest.raises(ShardUnavailable):
+            client.insert(4, 44)
+
+
+def _poisoned_cluster():
+    """Node 0 wedged by the memcached f1 bug; cross-node dependents.
+
+    replication=1 keeps replica sets disjoint on three nodes, so the
+    seed's causality structure (deps cascade, independents survive) is
+    preserved under ring routing.
+    """
+    cluster = Cluster(n_nodes=3, n_clients=2, replication=1)
+    a = ClusterClient(cluster, 0)
+    b = ClusterClient(cluster, 1)
+    # warm every node's buckets so later reverts have preimages
+    for key in range(30):
+        a.insert(key, 500 + key)
+    node0 = cluster.nodes[0]
+    victim = cluster.keys_for_node(0, 1)[0]
+
+    def warm_bucket_key(node_id, bucket, start):
+        key = start
+        while key % 64 != bucket or cluster.node_for(key) != node_id:
+            key += 1
+        return key
+
+    while node0.call("mc_refcount", node0.root, victim) != 0:
+        node0.lookup(victim)
+    node0.reap()
+    # same hash bucket (key % 64), same primary: hits the dangling chain
+    poison_key = warm_bucket_key(0, victim % 64, victim + 64)
+    poison_op = b.insert(poison_key, 999)
+    # b reads the poisoned insert's node, then writes derived data on
+    # other nodes: cross-node causal dependents of the poisoned op
+    warm1 = [k for k in range(30) if cluster.node_for(k) == 1]
+    warm2 = [k for k in range(30) if cluster.node_for(k) == 2]
+    assert len(warm1) >= 2 and len(warm2) >= 1
+    dep1 = b.insert(warm_bucket_key(1, warm1[0] % 64, 10_000), 1000)
+    dep2 = b.insert(warm_bucket_key(2, warm2[0] % 64, 10_000), 1001)
+    # client a keeps working independently (no new reads of node 0);
+    # a *different* warmed bucket, so reverting dep1 never has to
+    # touch a chain link the independent op wrote
+    indep = a.insert(warm_bucket_key(1, warm1[1] % 64, 20_000), 531)
+    probe = warm_bucket_key(0, victim % 64, poison_key + 1)
+    return cluster, poison_op, (dep1, dep2), indep, probe
+
 
 class TestDistributedRecovery:
-    def _poisoned_cluster(self):
-        """Node 0 wedged by the memcached f1 bug; cross-node dependents."""
-        cluster = Cluster(n_nodes=3, n_clients=2)
-        a = ClusterClient(cluster, 0)
-        b = ClusterClient(cluster, 1)
-        for key in range(30):
-            a.insert(key, 500 + key)
-        node0 = cluster.nodes[0]
-        victim = 0  # a key on node 0
-        while node0.call("mc_refcount", node0.root, victim) != 0:
-            node0.lookup(victim)
-        node0.reap()
-        poison_key = victim + 3 * (1 << 20)  # node 0, same bucket
-        assert cluster.node_for(poison_key) == 0
-        poison_op = b.insert(poison_key, 999)
-        # b reads the poisoned insert's node, then writes derived data on
-        # other nodes: cross-node causal dependents of the poisoned op
-        dep1 = b.insert(poison_key + 1, 1000)  # node 1, after poison
-        dep2 = b.insert(poison_key + 2, 1001)  # node 2, after poison
-        # client a keeps working independently (no new reads of node 0)
-        indep = a.insert(31, 531)  # node 1, concurrent with the poison
-        probe = victim + 5 * (1 << 20)
-        return cluster, poison_op, (dep1, dep2), indep, probe
-
     def test_cascading_recovery(self):
-        cluster, poison_op, deps, indep, probe = self._poisoned_cluster()
+        cluster, poison_op, deps, indep, probe = _poisoned_cluster()
         node0 = cluster.nodes[0]
         detector = Detector()
         outcome = detector.observe(
@@ -141,7 +248,7 @@ class TestDistributedRecovery:
         reactor = DistributedReactor(cluster)
 
         def verify():
-            assert node0.lookup(probe) == -1
+            assert node0.lookup(probe) == ABSENT
 
         report = reactor.mitigate(0, outcome.fault.iid, verify)
         assert report.recovered
@@ -152,7 +259,7 @@ class TestDistributedRecovery:
         assert deps[0].op_id in cascaded_ids
         assert deps[1].op_id in cascaded_ids
         # ...and are gone from their nodes
-        assert cluster.nodes[deps[0].node].lookup(deps[0].key) == -1
+        assert cluster.nodes[deps[0].node].lookup(deps[0].key) == ABSENT
         # the independent concurrent op survived
         if indep.op_id not in cascaded_ids:
             assert cluster.nodes[indep.node].lookup(indep.key) == 531
@@ -160,8 +267,95 @@ class TestDistributedRecovery:
     def test_no_cascade_without_dependents(self):
         cluster = Cluster(n_nodes=2, n_clients=1)
         client = ClusterClient(cluster, 0)
-        r1 = client.insert(0, 1)
+        client.insert(0, 1)
         reactor = DistributedReactor(cluster)
         # nothing discarded -> nothing cascades
         orphans = reactor._orphans_of([])
         assert orphans == []
+
+    def test_dimension_mismatch_surfaces_through_mitigate(self):
+        # a tampered (wrong-topology) clock in the oplog must fail the
+        # cascade loudly, not silently truncate the comparison
+        cluster, poison_op, deps, indep, probe = _poisoned_cluster()
+        node0 = cluster.nodes[0]
+        detector = Detector()
+        outcome = detector.observe(
+            node0.machine, lambda: node0.lookup(probe)
+        )
+        assert not outcome.ok
+        deps[0].vc = deps[0].vc + (0,)
+        reactor = DistributedReactor(cluster)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            reactor.mitigate(
+                0, outcome.fault.iid, lambda: None
+            )
+
+
+class TestMixedTopologies:
+    """Cascade correctness across cluster shapes (satellite: n_nodes in
+    {2, 5} x n_clients in {1, 3}, cyclic chains, fixpoint)."""
+
+    @pytest.mark.parametrize(
+        "n_nodes,n_clients", [(2, 1), (2, 3), (5, 1), (5, 3)]
+    )
+    def test_synthetic_cascade_reaches_fixpoint(self, n_nodes, n_clients):
+        cluster = Cluster(
+            n_nodes=n_nodes, n_clients=n_clients,
+            replication=min(2, n_nodes),
+        )
+        clients = [ClusterClient(cluster, i) for i in range(n_clients)]
+        a = clients[0]
+        for key in range(20):
+            a.insert(key, 500 + key)
+        # an op issued before the root is causally independent of it
+        indep = clients[-1].insert(5000, 9)
+        root = a.insert(1000, 1)
+        chain = []
+        key = 1000
+        for i in range(4):
+            c = clients[(i + 1) % n_clients]
+            rec = c.derived_insert(key, key + 1)
+            assert rec is not None
+            chain.append(rec)
+            key += 1
+
+        reactor = DistributedReactor(cluster)
+        first, last = root.spans[root.node]
+        seqs = set(range(first, last + 1))
+        discarded, cascaded, rounds = reactor.cascade_from(root.node, seqs)
+        assert root in discarded
+        cascaded_ids = {op.op_id for op in cascaded}
+        assert {rec.op_id for rec in chain} <= cascaded_ids
+        assert indep.op_id not in cascaded_ids
+        assert rounds >= 1
+        # fixpoint: a second pass over the same seqs finds no new orphans
+        _, again, _ = reactor.cascade_from(root.node, seqs)
+        assert again == []
+
+    def test_cyclic_causal_chain_terminates(self):
+        # derived writes ping-pong between two keys, overwriting each
+        # other: the key-level dependency graph is cyclic, but the
+        # op-level cascade still reaches a fixpoint in finite rounds
+        cluster = Cluster(n_nodes=2, n_clients=2, replication=1)
+        a = ClusterClient(cluster, 0)
+        b = ClusterClient(cluster, 1)
+        for key in range(10):
+            a.insert(key, 500 + key)
+        root = a.insert(100, 1)
+        hops = []
+        src, dst = 100, 101
+        for i in range(6):
+            c = b if i % 2 == 0 else a
+            rec = c.derived_insert(src, dst)
+            assert rec is not None
+            hops.append(rec)
+            src, dst = dst, src  # write back over the previous key
+        reactor = DistributedReactor(cluster)
+        first, last = root.spans[root.node]
+        discarded, cascaded, rounds = reactor.cascade_from(
+            root.node, set(range(first, last + 1))
+        )
+        assert root in discarded
+        cascaded_ids = {op.op_id for op in cascaded}
+        assert {rec.op_id for rec in hops} <= cascaded_ids
+        assert rounds <= len(hops) + 1  # terminated, no infinite loop
