@@ -2,11 +2,14 @@
 
 Times plan computation, purge/rollback/bisect mitigation, raw VM
 throughput, the checkpoint *write path* (``record_update``/persist-hook
-throughput with and without the PR 1 indexes' incremental maintenance)
-the experiment-matrix sweep (serial loop vs process-pool fan-out,
-summary-identical by construction) and the fault-injection sweep
-(recovery success rate + mean recovery time over every enumerable crash
-site; 100% verification required) on deterministic synthetic state (see
+throughput with and without the PR 1 indexes' incremental maintenance),
+the *cluster* write path (physical delta shipping vs replica
+re-execution at replication 2/3, plus compacted-rebase vs full-replay
+heal times, digest-identical by construction), the experiment-matrix
+sweep (serial loop vs process-pool fan-out, summary-identical by
+construction) and the fault-injection sweep (recovery success rate +
+mean recovery time over every enumerable crash site; 100% verification
+required) on deterministic synthetic state (see
 :mod:`repro.harness.hotpaths`), and writes ``results/BENCH_hotpaths.json``
 so subsequent PRs can track the numbers.
 

@@ -83,6 +83,16 @@ LIVE_HARD_FLOOR = 2.5
 LIVE_RELATIVE_FLOOR = 0.25
 LIVE_RELATIVE_CAP = 5.0
 
+#: the delta engine's replication path (time above the replication-1
+#: floor) must beat replica re-execution by at least this factor at
+#: replication 3.  The acceptance target is >= 3x; the hard floor sits
+#: at 2 because the ratio divides by a small time gap and swings with
+#: runner load, while a real regression (delta shipping silently
+#: re-executing the guest) lands at ~1
+CLUSTER_HARD_FLOOR = 2.0
+CLUSTER_RELATIVE_FLOOR = 0.25
+CLUSTER_RELATIVE_CAP = 3.0
+
 
 class _Checks:
     def __init__(self) -> None:
@@ -136,6 +146,13 @@ def _live_floor(committed: Optional[float]) -> float:
         return LIVE_HARD_FLOOR
     return max(LIVE_HARD_FLOOR,
                min(committed * LIVE_RELATIVE_FLOOR, LIVE_RELATIVE_CAP))
+
+
+def _cluster_floor(committed: Optional[float]) -> float:
+    if committed is None:
+        return CLUSTER_HARD_FLOOR
+    return max(CLUSTER_HARD_FLOOR,
+               min(committed * CLUSTER_RELATIVE_FLOOR, CLUSTER_RELATIVE_CAP))
 
 
 def run_guard(baseline_path: str, n_updates: int, seed: int) -> int:
@@ -218,6 +235,18 @@ def run_guard(baseline_path: str, n_updates: int, seed: int) -> int:
     checks.flag("live_traffic.digests_identical",
                 live.get("digests_identical", False))
     checks.flag("live_traffic.recovered", live.get("recovered", False))
+
+    # ---- cluster (delta replication vs replica re-execution) ----------
+    cluster = fresh["cluster"]
+    committed_cluster = baseline.get("cluster", {}).get("repl_speedup_r3")
+    checks.bound("cluster.repl_speedup_r3", cluster["repl_speedup_r3"],
+                 _cluster_floor(committed_cluster))
+    # bench_cluster raises outright on a cross-engine digest mismatch;
+    # the flag additionally fails CI if the oracle gets skipped or its
+    # result misreported
+    checks.flag("cluster.digests_identical",
+                cluster.get("digests_identical", False))
+    checks.bound("cluster.heal_speedup", cluster["heal"]["speedup"], 1.0)
 
     # ---- matrix (committed numbers only; no re-run here) --------------
     matrix = baseline.get("matrix")

@@ -85,6 +85,7 @@ Deserialized logs (``instrument.artifacts``) call
 
 from __future__ import annotations
 
+import copy
 import zlib
 from array import array
 from bisect import bisect_left, bisect_right, insort
@@ -318,6 +319,13 @@ class CheckpointLog:
         self._live_allocs: Dict[int, int] = {}
         #: (addr, Version) pairs removed by :meth:`quarantine_corrupt`
         self.quarantined: List[Tuple[int, Version]] = []
+        #: optional capture tap: called with ``(kind, addr, size, tx_id,
+        #: values-or-None)`` for every record as it is staged.  The
+        #: cluster's delta engine installs it around one primary-side op
+        #: to collect the op's exact record stream (staging may auto-merge
+        #: mid-op, so reading ``_stage`` afterwards would miss records);
+        #: replay the tuples elsewhere with :meth:`replay_record`.
+        self.record_tap = None
 
     # ------------------------------------------------------------------
     # flush-on-access views of the merged state
@@ -405,6 +413,8 @@ class CheckpointLog:
         buf.extend((_UPDATE, addr, nwords, tx_id))
         self._stage_words.extend(values)
         self.total_updates += 1
+        if self.record_tap is not None:
+            self.record_tap((_UPDATE, addr, nwords, tx_id, tuple(values)))
         if len(buf) >= self._stage_cap:
             self.flush_staging()
         return seq
@@ -415,6 +425,8 @@ class CheckpointLog:
         self._next_seq = seq + 1
         buf = self._stage
         buf.extend((_ALLOC, addr, nwords, 0))
+        if self.record_tap is not None:
+            self.record_tap((_ALLOC, addr, nwords, 0, None))
         if len(buf) >= self._stage_cap:
             self.flush_staging()
         return seq
@@ -425,6 +437,8 @@ class CheckpointLog:
         self._next_seq = seq + 1
         buf = self._stage
         buf.extend((_FREE, addr, nwords, 0))
+        if self.record_tap is not None:
+            self.record_tap((_FREE, addr, nwords, 0, None))
         if len(buf) >= self._stage_cap:
             self.flush_staging()
         return seq
@@ -435,6 +449,8 @@ class CheckpointLog:
         self._next_seq = seq + 1
         buf = self._stage
         buf.extend((_TX_BEGIN, 0, 0, tx_id))
+        if self.record_tap is not None:
+            self.record_tap((_TX_BEGIN, 0, 0, tx_id, None))
         if len(buf) >= self._stage_cap:
             self.flush_staging()
         return seq
@@ -445,9 +461,52 @@ class CheckpointLog:
         self._next_seq = seq + 1
         buf = self._stage
         buf.extend((_TX_COMMIT, 0, 0, tx_id))
+        if self.record_tap is not None:
+            self.record_tap((_TX_COMMIT, 0, 0, tx_id, None))
         if len(buf) >= self._stage_cap:
             self.flush_staging()
         return seq
+
+    def replay_record(
+        self,
+        kind: int,
+        addr: int,
+        size: int,
+        tx_id: int,
+        values: Optional[Tuple[int, ...]] = None,
+    ) -> int:
+        """Append one shipped record tuple (as captured by the tap).
+
+        Sequence numbers are issued by *this* log — replica logs number
+        their own streams, since per-node counters legitimately diverge
+        (routed lookups and peer recoveries append records on one node
+        only).  Returns the issued sequence number.
+        """
+        if kind == _UPDATE:
+            return self.record_update(addr, size, list(values), tx_id)
+        if kind == _ALLOC:
+            return self.record_alloc(addr, size)
+        if kind == _FREE:
+            return self.record_free(addr, size)
+        if kind == _TX_BEGIN:
+            return self.record_tx_begin(tx_id)
+        if kind == _TX_COMMIT:
+            return self.record_tx_commit(tx_id)
+        raise CheckpointError(f"unknown shipped record kind {kind}")
+
+    def clone(self) -> "CheckpointLog":
+        """Deep-copy this log (compaction base images / node rebase).
+
+        Flushes staging first so the copy starts merged; the capture tap
+        is never carried over.
+        """
+        self.flush_staging()
+        tap, self.record_tap = self.record_tap, None
+        try:
+            dup = copy.deepcopy(self)
+        finally:
+            self.record_tap = tap
+        return dup
 
     # ------------------------------------------------------------------
     def flush_staging(self) -> None:

@@ -23,6 +23,37 @@ promotion is a ring flag, not a data migration.  A healed node is
 re-synced from the oplog tail (:meth:`Cluster.replay_missed`) and
 rejoins demoted: replica duty first, primary duty only when the ring
 has no better candidate.
+
+Two replication engines
+-----------------------
+
+``replication_engine`` selects how a mutation reaches the other nodes
+(mirroring ``vm_engine``/``PROBE_ENGINES``: the slow engine stays as the
+oracle):
+
+* ``"reexec"`` — the original engine: the guest program runs through
+  the VM on the primary *and every replica-set member* (R× VM work per
+  op); a healed node replays its oplog share the same way.
+* ``"delta"`` — physical replication: the primary wraps the op in a
+  dirty-word pool epoch, captures the op's word delta + allocator
+  metadata ops + checkpoint record stream + trace slice as a
+  :class:`ReplicaDelta`, and the other nodes apply it as raw pool
+  writes plus a record batch — no guest re-execution.  Deltas are
+  group-committed (``replication_batch`` deltas per replica round,
+  drained early whenever a node must serve a read or execute as
+  primary), and the acked prefix is periodically folded into a
+  :class:`BaseImage` (:meth:`Cluster.compact`) so a healed node
+  installs ``base + delta tail`` instead of replaying its whole share.
+
+A physical word delta is only byte-exact between nodes whose op
+histories are *aligned* — per-node counters (``m_time``), first-fit
+allocator layout and checkpoint seqs are all history-dependent — so
+under the delta engine every live node mirrors every oplog op in oplog
+order (``replication`` keeps its routing/ack/vector-clock meaning on
+the ring, and routed lookups still touch only their primary).  At
+``replication == n_nodes`` the two engines are byte-identical per node;
+diverged or rebuilt nodes are never patched in place but *re-based*
+from a base image captured off a live aligned mirror.
 """
 
 from __future__ import annotations
@@ -31,11 +62,21 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Type
 
+from repro import faultinject
 from repro.distributed.ring import HashRing
 from repro.systems.common import ABSENT, SystemAdapter
 from repro.systems.memcached import MemcachedAdapter
 
 VectorClock = Tuple[int, ...]
+
+#: selectable replication engines; "reexec" is the oracle
+REPLICATION_ENGINES = ("reexec", "delta")
+
+#: module default, applied when ``Cluster(replication_engine=None)``
+DEFAULT_REPLICATION_ENGINE = "delta"
+
+#: deltas per group-commit round when ``replication_batch`` is unset
+DEFAULT_REPLICATION_BATCH = 8
 
 
 class ShardUnavailable(RuntimeError):
@@ -103,6 +144,66 @@ class OpRecord:
         return self.spans.get(node_id)
 
 
+@dataclass
+class ReplicaDelta:
+    """The physical effect of one op, captured on its primary.
+
+    Applying the pieces to an aligned replica — words as raw durable
+    writes, metadata ops via ``replay_alloc``/``replay_free``, records
+    via :meth:`CheckpointLog.replay_record` (replica-issued seqs), the
+    trace slice in bulk — reproduces the primary's post-state without
+    running the guest.
+    """
+
+    op_id: int
+    kind: str  # "insert" | "delete"
+    key: int
+    value: Optional[int]
+    #: dirty-word delta: addr -> durable post-value (0 = entry absent)
+    words: Dict[int, int]
+    #: allocator metadata ops, in mutation order (see ``OpTap``)
+    meta_ops: List[tuple]
+    #: checkpoint records: (kind, addr, size, tx_id, values-or-None)
+    records: List[tuple]
+    #: PM-address trace slice the op emitted
+    trace: List[Tuple[str, int]]
+    #: transaction-counter post-value
+    tx_next: int
+
+
+@dataclass
+class ShippedDelta:
+    """One :class:`ReplicaDelta` in the cluster's delta stream."""
+
+    pos: int  #: global stream position (survives compaction)
+    delta: ReplicaDelta
+    op: OpRecord
+
+
+@dataclass
+class BaseImage:
+    """An incremental compaction base: one mirror's state at ``pos``.
+
+    Everything is a deep copy — installing the image on another node
+    (plus the delta tail past ``pos``) re-bases that node onto the
+    mirror's aligned history without replaying the whole oplog share.
+    """
+
+    pos: int  #: stream position the image folds in (deltas < pos)
+    source: int  #: node the image was captured from
+    items: Dict[int, int]  #: durable pool words
+    meta: dict  #: allocator metadata (export_meta shape)
+    log: object  #: CheckpointLog clone (cloned again per install)
+    structural: int  #: the clone's structural digest at capture
+    tx_next: int
+    trace: List[Tuple[str, int]]
+    oracle: Dict[int, int]
+    #: op_id -> seq span on the source at capture time
+    spans: Dict[int, Tuple[int, int]]
+    #: op_ids already reverted on the source at capture time
+    reverted: Set[int]
+
+
 class Cluster:
     """N independent PM nodes behind a consistent-hash ring."""
 
@@ -114,7 +215,22 @@ class Cluster:
         seed: int = 0,
         replication: Optional[int] = None,
         vnodes: int = 64,
+        replication_engine: Optional[str] = None,
+        replication_batch: Optional[int] = None,
     ):
+        if replication_engine is None:
+            replication_engine = DEFAULT_REPLICATION_ENGINE
+        if replication_engine not in REPLICATION_ENGINES:
+            raise ValueError(
+                f"unknown replication engine {replication_engine!r}; "
+                f"pick from {REPLICATION_ENGINES}"
+            )
+        self.replication_engine = replication_engine
+        self.replication_batch = (
+            DEFAULT_REPLICATION_BATCH
+            if replication_batch is None
+            else max(1, replication_batch)
+        )
         self.seed = seed
         self.nodes: List[SystemAdapter] = []
         for i in range(n_nodes):
@@ -145,6 +261,24 @@ class Cluster:
         #: the same dicts through the experiment context alias)
         self.oracles: List[Dict[int, int]] = [{} for _ in range(n_nodes)]
         self._next_op_id = 1
+        # ---- delta-replication stream state ----
+        #: shipped-but-not-compacted deltas, ascending by ``pos``
+        self._delta_log: List[ShippedDelta] = []
+        #: next stream position to assign
+        self._log_pos = 0
+        #: compaction horizon: positions < horizon are folded into
+        #: ``_base`` and no longer in ``_delta_log``
+        self._horizon = 0
+        #: per-node next stream position to apply
+        self._applied: Dict[int, int] = {i: 0 for i in range(n_nodes)}
+        #: current compaction base (None until the first compact, and
+        #: invalidated by out-of-band guest mutations)
+        self._base: Optional[BaseImage] = None
+        #: nodes whose pool was rebuilt/diverged and must be re-based
+        #: before they may receive deltas again
+        self._needs_rebase: Set[int] = set()
+        #: enqueues since the last full replica round (group commit)
+        self._since_drain = 0
 
     # ------------------------------------------------------------------
     # routing
@@ -216,9 +350,43 @@ class Cluster:
         node_ids = self.replica_nodes_for(key)
         if not node_ids:
             raise ShardUnavailable(key)
+        if self.replication_engine == "delta":
+            return self._apply_delta(client, kind, key, value, node_ids)
         spans: Dict[int, Tuple[int, int]] = {}
-        for nid in node_ids:
-            spans[nid] = self._apply_on(nid, kind, key, value)
+        try:
+            for nid in node_ids:
+                first = self.nodes[nid].ckpt.log.max_seq() + 1
+                try:
+                    spans[nid] = self._apply_on(nid, kind, key, value)
+                except BaseException:
+                    # the op wedged mid-apply on this node: whatever it
+                    # already recorded is durable damage — keep the
+                    # partial span so assessment can find it
+                    last = self.nodes[nid].ckpt.log.max_seq()
+                    if last >= first:
+                        spans[nid] = (first, last)
+                    raise
+        except BaseException:
+            # partial-failure atomicity: nodes earlier in the chain have
+            # already applied the op.  Roll it forward into the oplog
+            # with the spans it actually produced, so damage assessment
+            # never loses an applied op.
+            if spans:
+                self._log_op(client, kind, key, value, node_ids, spans)
+            raise
+        return self._log_op(client, kind, key, value, node_ids, spans)
+
+    def _log_op(
+        self,
+        client: int,
+        kind: str,
+        key: int,
+        value: Optional[int],
+        node_ids: List[int],
+        spans: Dict[int, Tuple[int, int]],
+    ) -> OpRecord:
+        """Stamp clocks and append one (possibly partial) op record."""
+        anchor = node_ids[0] if node_ids[0] in spans else next(iter(spans))
         record = OpRecord(
             op_id=self._next_op_id,
             client=client,
@@ -227,8 +395,8 @@ class Cluster:
             key=key,
             value=value,
             vc=self._stamp(client, node_ids),
-            first_seq=spans[node_ids[0]][0],
-            last_seq=spans[node_ids[0]][1],
+            first_seq=spans[anchor][0],
+            last_seq=spans[anchor][1],
             spans=spans,
         )
         self._next_op_id += 1
@@ -252,6 +420,194 @@ class Cluster:
         last = node.ckpt.log.max_seq()
         return (first, last)
 
+    # ------------------------------------------------------------------
+    # delta replication engine
+    # ------------------------------------------------------------------
+    def _apply_delta(
+        self,
+        client: int,
+        kind: str,
+        key: int,
+        value: Optional[int],
+        node_ids: List[int],
+    ) -> OpRecord:
+        """Execute once on the primary, capture the physical delta, enqueue.
+
+        The primary must hold the oplog-prefix state before executing
+        (it can lag when other primaries enqueued since its last round),
+        so its own pending deltas are drained first.  The guest then
+        runs inside a dirty-word epoch with the checkpoint-record tap
+        and allocator op tap attached; whatever the op persisted —
+        complete or torn — is captured and shipped, so the mirrors stay
+        aligned with the primary even through a mid-op fault.
+        """
+        primary = node_ids[0]
+        if primary in self._needs_rebase:
+            raise RuntimeError(
+                f"node {primary} routed as primary while awaiting rebase"
+            )
+        self._drain_node(primary)
+        node = self.nodes[primary]
+        log = node.ckpt.log
+        records: List[tuple] = []
+        meta_ops: List[tuple] = []
+        tap = meta_ops.append
+        trace = node.trace
+        if trace is not None:
+            trace.flush()
+            t0 = len(trace.records)
+        token = node.pool.open_epoch()
+        first = log.max_seq() + 1
+        log.record_tap = records.append
+        node.allocator.add_op_tap(tap)
+        failure: Optional[BaseException] = None
+        try:
+            try:
+                if kind == "insert":
+                    node.insert(key, value)
+                    self.oracles[primary][key] = value
+                else:
+                    node.delete(key)
+                    self.oracles[primary].pop(key, None)
+            finally:
+                log.record_tap = None
+                node.allocator.remove_op_tap(tap)
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            failure = exc
+        last = log.max_seq()
+        words = node.pool.capture_epoch_delta(token)
+        if trace is not None and failure is None:
+            trace.flush()
+        trace_slice = list(trace.records[t0:]) if trace is not None else []
+        delta = ReplicaDelta(
+            op_id=self._next_op_id,
+            kind=kind,
+            key=key,
+            value=value,
+            words=words,
+            meta_ops=meta_ops,
+            records=records,
+            trace=trace_slice,
+            tx_next=node.txman._next_tx_id,
+        )
+        if failure is not None:
+            # torn op: the primary's partial effect is durable damage.
+            # Log and ship it anyway so damage assessment sees the op
+            # and the mirrors align with the torn state, then re-raise.
+            if last >= first or words or meta_ops:
+                op = self._log_op(
+                    client, kind, key, value, node_ids,
+                    {primary: (first, last)},
+                )
+                self._enqueue(op, delta)
+            raise failure
+        op = self._log_op(
+            client, kind, key, value, node_ids, {primary: (first, last)}
+        )
+        self._enqueue(op, delta)
+        return op
+
+    def _enqueue(self, op: OpRecord, delta: ReplicaDelta) -> None:
+        """Append one delta to the stream and group-commit if due."""
+        pos = self._log_pos
+        self._delta_log.append(ShippedDelta(pos=pos, delta=delta, op=op))
+        self._log_pos = pos + 1
+        # the primary already holds this delta's effect; it was drained
+        # before executing, so its pointer sat exactly at ``pos``
+        if self._applied[op.node] == pos:
+            self._applied[op.node] = pos + 1
+        self._since_drain += 1
+        if self._since_drain >= self.replication_batch:
+            self.drain()
+
+    def drain(self, node_id: Optional[int] = None) -> int:
+        """Apply queued deltas — to one live node, or a full replica round.
+
+        Called automatically every ``replication_batch`` enqueues (group
+        commit) and eagerly whenever a node must be current: before it
+        serves a routed read, before it executes as primary, and before
+        damage assessment walks its spans.  Returns the number of
+        (node, delta) applications performed; no-op under ``reexec``.
+        """
+        if self.replication_engine != "delta":
+            return 0
+        if node_id is not None:
+            if self.ring.is_down(node_id):
+                return 0
+            return self._drain_node(node_id)
+        applied = 0
+        for nid in range(self.n_nodes):
+            if not self.ring.is_down(nid):
+                applied += self._drain_node(nid)
+        self._since_drain = 0
+        return applied
+
+    def _drain_node(self, node_id: int) -> int:
+        """Apply every queued delta the node has not yet acked.
+
+        Fires the ``cluster.ship_delta`` injection site once per round
+        that has work, *before* any delta lands — a crash there leaves
+        the node's pointer unadvanced, and the retried round re-applies
+        from the same position (idempotently: a delta whose span is
+        already recorded for the node is skipped).  A node that tears
+        mid-delta is diverged and is flagged for rebase instead of
+        being patched further.
+        """
+        if self.replication_engine != "delta" or node_id in self._needs_rebase:
+            return 0
+        start = self._applied[node_id]
+        if start < self._horizon:
+            raise RuntimeError(
+                f"node {node_id} pointer {start} fell behind compaction "
+                f"horizon {self._horizon}; it must be re-based, not drained"
+            )
+        entries = self._delta_log[start - self._horizon:]
+        if not entries:
+            return 0
+        faultinject.fire("cluster.ship_delta")
+        for shipped in entries:
+            try:
+                self._apply_shipped(node_id, shipped)
+            except BaseException:
+                self._needs_rebase.add(node_id)
+                raise
+            self._applied[node_id] = shipped.pos + 1
+        return len(entries)
+
+    def _apply_shipped(self, node_id: int, shipped: ShippedDelta) -> None:
+        """Install one delta on one aligned mirror — no guest execution."""
+        op = shipped.op
+        if node_id in op.spans:
+            return  # crash-retried round: this delta already landed here
+        delta = shipped.delta
+        node = self.nodes[node_id]
+        node.pool.apply_words(delta.words)
+        links: List[Tuple[int, int]] = []
+        for mop in delta.meta_ops:
+            if mop[0] == "alloc":
+                _, addr, nwords, site = mop
+                node.allocator.replay_alloc(addr, nwords, site=site)
+            elif mop[0] == "free":
+                node.allocator.replay_free(mop[1])
+            else:  # ("realloc", old_addr, new_addr, nwords)
+                links.append((mop[1], mop[2]))
+        log = node.ckpt.log
+        first = log.max_seq() + 1
+        for rec in delta.records:
+            log.replay_record(*rec)
+        last = log.max_seq()
+        for old_addr, new_addr in links:
+            log.link_realloc(old_addr, new_addr)
+        node.txman._next_tx_id = max(node.txman._next_tx_id, delta.tx_next)
+        if node.trace is not None:
+            node.trace.extend(delta.trace)
+        if delta.kind == "insert":
+            self.oracles[node_id][delta.key] = delta.value
+        else:
+            self.oracles[node_id].pop(delta.key, None)
+        op.spans[node_id] = (first, last)
+        self._ops_by_node.setdefault(node_id, []).append(op)
+
     def insert(self, client: int, key: int, value: int) -> OpRecord:
         if value == ABSENT:
             raise ValueError(
@@ -268,6 +624,9 @@ class Cluster:
         node_id = self.node_for(key)
         if node_id is None:
             raise ShardUnavailable(key)
+        # a delta mirror must be current before it serves a read —
+        # group commit may still hold its tail of the stream
+        self.drain(node_id)
         value = self.nodes[node_id].lookup(key)
         self._stamp(client, [node_id])
         return value
@@ -278,7 +637,10 @@ class Cluster:
     def ops_on_node(self, node_id: int) -> List[OpRecord]:
         """Ops that produced checkpoint records on ``node_id`` (as
         primary or replica), in op_id order — served from the per-node
-        index, not an oplog scan."""
+        index, not an oplog scan.  Under the delta engine the node is
+        drained first so queued deltas are credited before assessment
+        reads the spans."""
+        self.drain(node_id)
         return list(self._ops_by_node.get(node_id, ()))
 
     def ops_overlapping_seqs(self, node_id: int, seqs) -> List[OpRecord]:
@@ -288,6 +650,7 @@ class Cluster:
         ``seqs``, then a bisect per op for the smallest reverted seq >=
         its span start — and only the node's own ops are visited.
         """
+        self.drain(node_id)
         ordered = sorted(set(seqs))
         if not ordered:
             return []
@@ -325,6 +688,11 @@ class Cluster:
         ``cluster.resync`` injection site through it.  Returns the
         number of ops replayed (the node's resync lag).
         """
+        if self.replication_engine == "delta":
+            raise RuntimeError(
+                "replay_missed re-executes the guest per op; the delta "
+                "engine heals via rebase_node (base image + delta tail)"
+            )
         replayed = 0
         down = self.ring.down - {node_id}
         for op in self.oplog:
@@ -359,6 +727,156 @@ class Cluster:
         for op in self._ops_by_node.pop(node_id, []):
             op.spans.pop(node_id, None)
             op.reverted_on.discard(node_id)
+        if self.replication_engine == "delta":
+            # a fresh pool shares no history with the stream: flag the
+            # node so no delta lands until rebase_node re-aligns it
+            self._needs_rebase.add(node_id)
+
+    # ------------------------------------------------------------------
+    # oplog compaction & rebase (delta engine)
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Fold the fully-acked delta prefix into a new base image.
+
+        Drains a full replica round, captures a :class:`BaseImage` off
+        one aligned live mirror, fires the ``cluster.compact`` injection
+        site (after capture, before truncation — a crash there retries
+        into a fresh capture, so the step is idempotent), then advances
+        the horizon and truncates the stream.  Nodes whose pointer fell
+        behind the new horizon (down at compaction time) are flagged for
+        rebase.  Returns the number of deltas folded; 0 under ``reexec``
+        or when no aligned live source exists.
+        """
+        if self.replication_engine != "delta":
+            return 0
+        self.drain()
+        if not self._delta_log:
+            return 0
+        source = self._capture_base_source()
+        if source is None:
+            return 0
+        base = self._capture_base(source)
+        faultinject.fire("cluster.compact")
+        self._base = base
+        self._horizon = self._log_pos
+        folded = len(self._delta_log)
+        self._delta_log.clear()
+        for nid, pointer in self._applied.items():
+            if pointer < self._horizon:
+                self._needs_rebase.add(nid)
+        return folded
+
+    def _capture_base_source(self, exclude: Optional[int] = None) -> Optional[int]:
+        """First live node whose pointer acks the whole stream."""
+        for nid in range(self.n_nodes):
+            if nid == exclude or nid in self._needs_rebase:
+                continue
+            if self.ring.is_down(nid):
+                continue
+            if self._applied[nid] == self._log_pos:
+                return nid
+        return None
+
+    def _capture_base(self, source: int) -> BaseImage:
+        """Deep-copy one aligned mirror's state at the current position."""
+        node = self.nodes[source]
+        log_clone = node.ckpt.log.clone()
+        if node.trace is not None:
+            node.trace.flush()
+            trace = list(node.trace.records)
+        else:
+            trace = []
+        spans: Dict[int, Tuple[int, int]] = {}
+        for op in self._ops_by_node.get(source, ()):
+            span = op.spans.get(source)
+            if span is not None:
+                spans[op.op_id] = span
+        return BaseImage(
+            pos=self._log_pos,
+            source=source,
+            items=node.pool.durable_items(),
+            meta=node.allocator.export_meta(),
+            log=log_clone,
+            structural=log_clone.structural_digest(),
+            tx_next=node.txman._next_tx_id,
+            trace=trace,
+            oracle=dict(self.oracles[source]),
+            spans=spans,
+            reverted={
+                op.op_id for op in self.oplog if source in op.reverted_on
+            },
+        )
+
+    def rebase_node(self, node_id: int, tick=None) -> Tuple[int, int]:
+        """Re-align a healed/rebuilt node: install ``base + delta tail``.
+
+        The delta-engine replacement for :meth:`replay_missed` +
+        catch-up reverts: instead of re-executing the node's oplog
+        share, the current base image (captured fresh off a live mirror
+        when none is cached) is installed wholesale — pool words,
+        allocator metadata, checkpoint-log clone, transaction counter,
+        trace — and the delta tail past the base is drained on top.
+        ``tick`` is called once per op credited from the base, which
+        threads the supervisor's ``cluster.resync`` injection site
+        through the same cadence the re-execution engine had; a crash
+        mid-rebase retries from scratch (every step reinstalls).
+        Returns ``(credited, reverted)``: ops credited to the node and
+        how many of those carry an inherited revert.
+        """
+        if self.replication_engine != "delta":
+            raise RuntimeError("rebase_node requires the delta engine")
+        base = self._base
+        if base is None:
+            self.drain()
+            source = self._capture_base_source(exclude=node_id)
+            if source is None:
+                raise RuntimeError(
+                    f"no aligned live mirror to rebase node {node_id} from"
+                )
+            base = self._base = self._capture_base(source)
+        node = self.nodes[node_id]
+        node.pool.load_durable(base.items)
+        node.allocator.import_meta(base.meta)
+        node.ckpt.log = base.log.clone()
+        node.txman.reset()
+        node.txman._next_tx_id = base.tx_next
+        if node.trace is not None:
+            node.trace.load(base.trace)
+        # fresh machine over the installed image; init re-finds the root
+        node.restart()
+        oracle = self.oracles[node_id]
+        oracle.clear()
+        oracle.update(base.oracle)
+        for op in self._ops_by_node.pop(node_id, []):
+            op.spans.pop(node_id, None)
+            op.reverted_on.discard(node_id)
+        credited = 0
+        reverted = 0
+        index = self._ops_by_node.setdefault(node_id, [])
+        for op in self.oplog:
+            span = base.spans.get(op.op_id)
+            if span is None:
+                continue
+            if tick is not None:
+                tick()
+            op.spans[node_id] = span
+            if op.op_id in base.reverted:
+                op.reverted_on.add(node_id)
+                reverted += 1
+            index.append(op)
+            credited += 1
+        self._applied[node_id] = base.pos
+        self._needs_rebase.discard(node_id)
+        credited += self._drain_node(node_id)
+        return (credited, reverted)
+
+    def note_out_of_band(self) -> None:
+        """An out-of-band guest mutation happened (revert cascade, peer
+        recovery run): live mirrors stayed mutually aligned — the same
+        reverts run on every span holder in the same order — but the
+        cached base image no longer matches them, so drop it.  The next
+        compaction or rebase captures a fresh one."""
+        self._base = None
 
 
 class ClusterClient:

@@ -132,6 +132,10 @@ class DistributedReactor:
         then cascades orphans to a fixpoint.  Returns
         ``(discarded, cascaded, rounds)``.
         """
+        # every live mirror must be current before reverts — guest-level
+        # mutations outside the delta stream — execute on it (no-op
+        # under the re-execution engine)
+        self.cluster.drain()
         discarded = self.cluster.ops_overlapping_seqs(
             failing_node, set(reverted_seqs)
         )
@@ -154,6 +158,10 @@ class DistributedReactor:
                 self._revert_spans(orphan)
             cascaded.extend(orphans)
             frontier = orphans
+        if discarded or cascaded:
+            # the reverts mutated live mirrors out-of-band: the cached
+            # compaction base no longer matches them
+            self.cluster.note_out_of_band()
         return discarded, cascaded, rounds
 
     def catchup_reverts(self, node_id: int) -> int:

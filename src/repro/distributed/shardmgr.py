@@ -330,6 +330,10 @@ class ShardManager:
             peer = self.cluster.nodes[nid]
             peer.restart()
             peer.recover()
+        if discarded or cascaded or touched:
+            # reverts and peer recoveries mutate guests outside the
+            # delta stream: the cached compaction base is stale
+            self.cluster.note_out_of_band()
         self.health[node_id].discarded_ops += len(discarded)
         journal.complete(
             "cascade", discarded=discarded, cascaded=cascaded, rounds=rounds
@@ -382,10 +386,19 @@ class ShardManager:
 
             def catchup() -> StepResult:
                 faultinject.fire("cluster.resync")
-                reverted = self.reactor.catchup_reverts(node_id)
-                replayed = self.cluster.replay_missed(
-                    node_id, tick=lambda: faultinject.fire("cluster.resync")
-                )
+                if self.cluster.replication_engine == "delta":
+                    # physical heal: install base image + delta tail;
+                    # the tick keeps the cluster.resync cadence (one
+                    # firing per credited op) of the re-execution path
+                    replayed, reverted = self.cluster.rebase_node(
+                        node_id,
+                        tick=lambda: faultinject.fire("cluster.resync"),
+                    )
+                else:
+                    reverted = self.reactor.catchup_reverts(node_id)
+                    replayed = self.cluster.replay_missed(
+                        node_id, tick=lambda: faultinject.fire("cluster.resync")
+                    )
                 return StepResult(
                     recovered=True, notes=f"reverted={reverted} replayed={replayed}",
                     attempts=replayed,
@@ -407,8 +420,12 @@ class ShardManager:
             def handoff() -> StepResult:
                 self.cluster.ring.demote(node_id)
                 self.cluster.ring.mark_up(node_id)
+                # fold the fully-acked delta prefix now that every node
+                # is live and aligned; a crash at the cluster.compact
+                # site retries into a fresh capture (idempotent)
+                folded = self.cluster.compact()
                 faultinject.fire("cluster.handoff")
-                return StepResult(recovered=True)
+                return StepResult(recovered=True, notes=f"compacted={folded}")
             _, retries = with_crash_retries(
                 handoff, self.cluster.nodes[node_id].pool, clock,
                 self.max_crash_retries,

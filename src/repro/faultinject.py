@@ -69,6 +69,12 @@ site family                fired from
 ``cluster.handoff``        :meth:`ShardManager.resync`, after the healed
                            node is demoted + marked up, before the
                            journal records the handoff
+``cluster.ship_delta``     :meth:`Cluster._drain_node`, before a queued
+                           batch of physical replica deltas is applied
+                           to one node (delta replication engine)
+``cluster.compact``        :meth:`Cluster.compact`, after the base image
+                           is captured, before the acked delta prefix is
+                           truncated
 =========================  ====================================================
 
 The ``cluster.*`` sites model a *second* fault arriving mid-promotion:
@@ -97,8 +103,15 @@ FUZZ_KINDS = ("crash", "torn", "skip-flush", "skip-fence")
 #: solution (checkpointing or not) is attached to the run
 FUZZ_SITES = ("pmem.flush", "pmem.fence")
 
-#: shard-supervisor phase boundaries (promotion protocol); crash-only
-CLUSTER_SITES = ("cluster.promote", "cluster.resync", "cluster.handoff")
+#: shard-supervisor phase boundaries (promotion protocol) plus the
+#: delta-replication shipping/compaction boundaries; crash-only
+CLUSTER_SITES = (
+    "cluster.promote",
+    "cluster.resync",
+    "cluster.handoff",
+    "cluster.ship_delta",
+    "cluster.compact",
+)
 
 #: kinds that only make sense at specific site families
 _TORN_SITES = ("pmem.fence",)

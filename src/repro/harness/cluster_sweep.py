@@ -36,10 +36,18 @@ at cluster scale (the trigger's layout assumptions don't survive the
 sharded keyspace; f13/f18 today) are recorded honestly as
 ``manifested: false`` and converge vacuously.
 
-Four extra cells re-run f1 with a *second* fault crashed into the heal
+Six extra cells re-run f1 with a *second* fault crashed into the heal
 itself (``cluster.promote`` / ``cluster.resync`` / ``cluster.handoff``
-injection sites); the same bar applies — the journaled phases must
-converge on retry in both runs.
+/ ``cluster.compact`` injection sites) or into the delta-replication
+shipping path (``cluster.ship_delta``); the same bar applies — the
+journaled phases must converge on retry in both runs, and a crashed
+shipping round must re-apply idempotently when the serving client
+retries it.
+
+The sweep runs under the cluster's default replication engine
+(physical delta shipping); ``engine=`` selects the re-execution oracle
+instead, and the committed report records which engine produced it so
+the drift check never compares across engines.
 
 Digests are compared across the two in-process runs; the committed
 report (``results/cluster_sweep.json``) records the stable per-cell
@@ -58,9 +66,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import faultinject
 from repro.detector.monitor import Detector, LeakMonitor, RunOutcome
 from repro.detector.signature import FailureSignature
-from repro.distributed.cluster import Cluster, ClusterClient, vc_less
+from repro.distributed.cluster import (
+    DEFAULT_REPLICATION_ENGINE,
+    Cluster,
+    ClusterClient,
+    vc_less,
+)
 from repro.distributed.shardmgr import ShardManager
-from repro.errors import Trap
+from repro.errors import InjectedCrash, Trap
 from repro.faultinject import InjectionPlan, InjectionSpec
 from repro.faults.fuzzed import FuzzedScenario, build_fuzzed_scenarios
 from repro.faults.registry import ALL_SCENARIOS, scenario_by_id
@@ -87,12 +100,20 @@ CRASH_CELLS: Tuple[Tuple[str, int], ...] = (
     ("cluster.resync", 1),
     ("cluster.resync", 2),
     ("cluster.handoff", 1),
+    # delta-engine sites: a crashed shipping round is retried by the
+    # serving client (idempotent re-apply); a crashed compaction is
+    # retried by the handoff journal step (fresh capture)
+    ("cluster.ship_delta", 1),
+    ("cluster.compact", 1),
 )
 CRASH_TARGET = 1
 
 #: CI quick subset — a strict subset of the full sweep's cells
 QUICK_FIDS = ("f1", "f5")
-QUICK_CRASH_CELLS: Tuple[Tuple[str, int], ...] = (("cluster.promote", 1),)
+QUICK_CRASH_CELLS: Tuple[Tuple[str, int], ...] = (
+    ("cluster.promote", 1),
+    ("cluster.compact", 1),
+)
 
 
 def target_shard(fid: str) -> int:
@@ -226,6 +247,7 @@ class ClusterSweepReport:
     sweep_seed: int
     n_nodes: int = N_NODES
     replication: int = REPLICATION
+    replication_engine: str = DEFAULT_REPLICATION_ENGINE
     cells: List[CellOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
 
@@ -239,6 +261,7 @@ class ClusterSweepReport:
             "sweep_seed": self.sweep_seed,
             "n_nodes": self.n_nodes,
             "replication": self.replication,
+            "replication_engine": self.replication_engine,
             "wall_seconds": round(self.wall_seconds, 2),
             "cells_total": len(self.cells),
             "cells_manifested": len(manifested),
@@ -285,6 +308,7 @@ def _run_mode(
     mode: str,
     crash_spec: Optional[Tuple[str, int]] = None,
     skip_keys: frozenset = frozenset(),
+    engine: str = DEFAULT_REPLICATION_ENGINE,
 ) -> ModeResult:
     """Build a fresh cluster, wedge ``target`` with the scenario, heal.
 
@@ -310,6 +334,7 @@ def _run_mode(
         adapter_cls=scenario.adapter_cls(),
         seed=seed,
         replication=REPLICATION,
+        replication_engine=engine,
     )
     clients = [ClusterClient(cluster, i) for i in range(N_CLIENTS)]
     node = cluster.nodes[target]
@@ -351,18 +376,33 @@ def _run_mode(
     mclock = SimClock()
     skip_all = set(skip_keys) | baseline_lost
 
+    def shipped(fn):
+        """One client-level retry across a crashed replication round.
+
+        A crash injected at ``cluster.ship_delta`` surfaces at the
+        serving edge — group commit drains inside the client call —
+        with no partial credit (a node's stream pointer advances only
+        per fully-applied delta), so the retried call re-applies the
+        queued deltas idempotently.  Inert for every other cell: the
+        heal-phase sites never fire from client traffic.
+        """
+        try:
+            return fn()
+        except InjectedCrash:
+            return fn()
+
     def serve_window() -> None:
         for k in w_reads:
-            value = clients[0].lookup(k)
+            value = shipped(lambda: clients[0].lookup(k))
             res.window_reads += 1
             if value == ABSENT and mode != "control" and k not in skip_all:
                 res.serving_problems.append(f"window read miss: key {k}")
         for k in w_writes:
-            rec = clients[0].insert(k, VALUE_BASE + k + 1)
+            rec = shipped(lambda: clients[0].insert(k, VALUE_BASE + k + 1))
             res.window_writes += 1
             if rec.node == target:
                 res.window_routed_to_sick += 1
-        clients[1].derived_insert(w_edge_src, w_edge_dst)
+        shipped(lambda: clients[1].derived_insert(w_edge_src, w_edge_dst))
         res.window_writes += 1
 
     if mode == "control":
@@ -566,19 +606,21 @@ def _run_cell(
     target: int,
     seed: int,
     crash_spec: Optional[Tuple[str, int]] = None,
+    engine: str = DEFAULT_REPLICATION_ENGINE,
 ) -> CellOutcome:
     site = f"{crash_spec[0]}#{crash_spec[1]}" if crash_spec else ""
     # fault-free control: its post-heal losses are the system's, not the
     # cluster's, and get excluded from both fault runs' serving bar
-    control = _run_mode(_fresh_scenario(fid), target, seed, "control")
+    control = _run_mode(_fresh_scenario(fid), target, seed, "control",
+                        engine=engine)
     skip = frozenset(control.lost_keys)
     promoted = _run_mode(
         _fresh_scenario(fid), target, seed, "promoted",
-        crash_spec=crash_spec, skip_keys=skip,
+        crash_spec=crash_spec, skip_keys=skip, engine=engine,
     )
     quiesced = _run_mode(
         _fresh_scenario(fid), target, seed, "quiesced",
-        crash_spec=crash_spec, skip_keys=skip,
+        crash_spec=crash_spec, skip_keys=skip, engine=engine,
     )
     scenario = scenario_by_id(fid)
     cell = CellOutcome(
@@ -633,6 +675,7 @@ def run_cluster_sweep(
     sweep_seed: int = DEFAULT_SWEEP_SEED,
     quick: bool = False,
     progress=None,
+    engine: str = DEFAULT_REPLICATION_ENGINE,
 ) -> ClusterSweepReport:
     """Run the cluster fault sweep; deterministic per seed.
 
@@ -648,16 +691,26 @@ def run_cluster_sweep(
     crash_cells = (
         QUICK_CRASH_CELLS if quick else CRASH_CELLS
     ) if CRASH_FID in fids else ()
-    report = ClusterSweepReport(sweep_seed=sweep_seed)
+    if engine != "delta":
+        # the delta-engine sites never fire under re-execution: the
+        # cells would fail their injections_fired bar vacuously
+        crash_cells = tuple(
+            c for c in crash_cells
+            if c[0] not in ("cluster.ship_delta", "cluster.compact")
+        )
+    report = ClusterSweepReport(
+        sweep_seed=sweep_seed, replication_engine=engine
+    )
     t0 = time.time()
     for fid in fids:
-        cell = _run_cell(fid, target_shard(fid), sweep_seed)
+        cell = _run_cell(fid, target_shard(fid), sweep_seed, engine=engine)
         report.cells.append(cell)
         if progress is not None:
             progress(cell)
     for site, occ in crash_cells:
         cell = _run_cell(
-            CRASH_FID, CRASH_TARGET, sweep_seed, crash_spec=(site, occ)
+            CRASH_FID, CRASH_TARGET, sweep_seed, crash_spec=(site, occ),
+            engine=engine,
         )
         report.cells.append(cell)
         if progress is not None:
@@ -670,7 +723,8 @@ def check_against(report: ClusterSweepReport, committed: dict) -> List[str]:
     """Drift check: every cell of this (quick) sweep must match the
     committed report's outcome contract for the same cell."""
     problems: List[str] = []
-    for field_name in ("sweep_seed", "n_nodes", "replication"):
+    for field_name in ("sweep_seed", "n_nodes", "replication",
+                       "replication_engine"):
         mine = getattr(report, field_name)
         theirs = committed.get(field_name)
         if theirs != mine:

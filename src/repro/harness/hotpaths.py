@@ -908,11 +908,202 @@ def bench_live_traffic(
 
 
 # ----------------------------------------------------------------------
+# cluster replication engines: physical delta shipping vs re-execution
+# ----------------------------------------------------------------------
+def bench_cluster(
+    n_ops: int = 200,
+    seed: int = 0,
+    n_nodes: int = 3,
+    rounds: int = 5,
+) -> Dict[str, object]:
+    """Cluster write path: delta shipping vs replica re-execution.
+
+    Runs one deterministic mixed workload (inserts, deletes, lookups,
+    derived inserts) through a fresh cluster per configuration —
+    re-execution at replication 1 (the no-replication floor: one guest
+    execution per op), re-execution and delta at replication 2 and 3 —
+    and a heal comparison: rebuilding a node by full oplog re-execution
+    versus installing the compacted base image plus delta tail.
+
+    ``repl_speedup`` isolates what the engines actually differ on, the
+    *replication* path: time above the replication-1 floor, reexec over
+    delta.  ``client_speedup`` is the honest end-to-end ratio — bounded
+    well under the replication-path number because the primary still
+    executes the guest once per op under either engine.
+
+    At replication 3 the two engines must leave byte-identical per-node
+    pool digests and equal structural digests; the bench aborts on a
+    mismatch because the throughput numbers would then compare diverged
+    clusters.
+    """
+    from repro.distributed.cluster import Cluster, ClusterClient
+    from repro.faults.registry import scenario_by_id
+    from repro.harness.supervisor import pool_digest
+
+    adapter_cls = scenario_by_id("f1").adapter_cls()
+
+    def run(engine: str, replication: int) -> Tuple[Cluster, float]:
+        cluster = Cluster(
+            n_nodes=n_nodes, n_clients=2, adapter_cls=adapter_cls,
+            seed=seed, replication=replication,
+            replication_engine=engine,
+        )
+        clients = [ClusterClient(cluster, i) for i in range(2)]
+        rng = random.Random(seed)
+        keyspace = max(16, n_ops // 2)
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            for i in range(n_ops):
+                key = rng.randrange(keyspace)
+                roll = rng.random()
+                if roll < 0.55:
+                    clients[i % 2].insert(key, 700 + i)
+                elif roll < 0.75:
+                    clients[i % 2].lookup(key)
+                elif roll < 0.90:
+                    clients[1].derived_insert(key, key + keyspace)
+                else:
+                    clients[0].delete(key)
+            cluster.drain()
+            return cluster, time.perf_counter() - t0
+        finally:
+            gc.enable()
+
+    def digests(cluster: Cluster) -> List[Tuple[int, int]]:
+        cluster.drain()
+        return [
+            (pool_digest(node.pool, node.allocator),
+             node.ckpt.log.structural_digest())
+            for node in cluster.nodes
+        ]
+
+    configs = (
+        ("reexec", 1),
+        ("reexec", 2), ("delta", 2),
+        ("reexec", 3), ("delta", 3),
+    )
+    # the replication-path ratio divides by the small gap between the
+    # delta time and the replication-1 floor, so a single noisy round
+    # would swing it wildly: time every configuration once per round
+    # (paired — all five share the round's machine conditions), compute
+    # the ratios per round, and report the median across rounds.  The
+    # first round warms caches and is discarded.
+    times: Dict[str, List[float]] = {}
+    clusters: Dict[str, Cluster] = {}
+    for round_no in range(rounds + 1):
+        for engine, replication in configs:
+            label = f"{engine}_r{replication}"
+            cluster, took = run(engine, replication)
+            if round_no == 0:
+                continue
+            clusters[label] = cluster
+            times.setdefault(label, []).append(took)
+
+    def median(values: List[float]) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    throughput: Dict[str, Dict[str, float]] = {
+        label: {
+            "seconds": median(samples),
+            "ops_per_second": n_ops / max(median(samples), 1e-9),
+        }
+        for label, samples in times.items()
+    }
+    if digests(clusters["reexec_r3"]) != digests(clusters["delta_r3"]):
+        raise RuntimeError(
+            "cluster bench: delta and re-execution engines left different "
+            "per-node digests at replication 3 — the delta path diverged"
+        )
+
+    def repl_speedup(replication: int) -> float:
+        ratios = [
+            (reexec - floor) / max(delta - floor, 1e-9)
+            for floor, reexec, delta in zip(
+                times["reexec_r1"],
+                times[f"reexec_r{replication}"],
+                times[f"delta_r{replication}"],
+            )
+        ]
+        return median(ratios)
+
+    def client_speedup(replication: int) -> float:
+        ratios = [
+            reexec / max(delta, 1e-9)
+            for reexec, delta in zip(
+                times[f"reexec_r{replication}"],
+                times[f"delta_r{replication}"],
+            )
+        ]
+        return median(ratios)
+
+    # heal: rebuild one node by full oplog re-execution vs installing
+    # the compacted base + delta tail (both at full replication, so the
+    # two heals re-derive the same op set); per-round timing, median
+    # across rounds, same rationale as the throughput ratios
+    full_samples: List[float] = []
+    compacted_samples: List[float] = []
+    for _ in range(max(rounds, 1)):
+        reexec_cluster, _ = run("reexec", n_nodes)
+        gc.collect()
+        t0 = time.perf_counter()
+        reexec_cluster.rebuild_node(1)
+        replayed = reexec_cluster.replay_missed(1)
+        full_samples.append(time.perf_counter() - t0)
+
+        delta_cluster, _ = run("delta", n_nodes)
+        folded = delta_cluster.compact()
+        gc.collect()
+        t0 = time.perf_counter()
+        delta_cluster.rebuild_node(1)
+        credited, _ = delta_cluster.rebase_node(1)
+        compacted_samples.append(time.perf_counter() - t0)
+        healed = [
+            (pool_digest(node.pool, node.allocator),
+             node.ckpt.log.structural_digest())
+            for node in (delta_cluster.nodes[0], delta_cluster.nodes[1])
+        ]
+        if healed[0] != healed[1]:
+            raise RuntimeError(
+                "cluster bench: compacted rebase left the healed node "
+                "diverged from its live mirror"
+            )
+    full_replay_s = median(full_samples)
+    compacted_s = median(compacted_samples)
+
+    return {
+        "n_ops": n_ops,
+        "n_nodes": n_nodes,
+        "seed": seed,
+        "throughput": throughput,
+        "repl_speedup_r2": repl_speedup(2),
+        "repl_speedup_r3": repl_speedup(3),
+        "client_speedup_r2": client_speedup(2),
+        "client_speedup_r3": client_speedup(3),
+        "digests_identical": True,
+        "heal": {
+            "full_replay_s": full_replay_s,
+            "compacted_s": compacted_s,
+            "speedup": full_replay_s / max(compacted_s, 1e-9),
+            "replayed_ops": replayed,
+            "deltas_folded": folded,
+            "credited_ops": credited,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # top-level runner
 # ----------------------------------------------------------------------
 #: sections ``run_hotpaths(only=...)`` / ``bench-hotpaths --only`` accept
 SECTIONS = (
-    "plan", "mitigation", "probe_engine", "vm", "write_path", "live_traffic"
+    "plan", "mitigation", "probe_engine", "vm", "write_path",
+    "live_traffic", "cluster",
 )
 
 
@@ -957,6 +1148,10 @@ def run_hotpaths(
         report["write_path"] = bench_write_path(n_updates, seed=seed)
     if wanted("live_traffic"):
         report["live_traffic"] = bench_live_traffic(seed=seed)
+    if wanted("cluster"):
+        report["cluster"] = bench_cluster(
+            n_ops=max(120, n_updates // 250), seed=seed
+        )
     if only is not None:
         return report
 
@@ -984,6 +1179,8 @@ def run_hotpaths(
             write_path["record_update"]["index_overhead_pct"],
         "live_traffic_stw_over_scoped_p99_ratio":
             report["live_traffic"]["stw_over_scoped_p99_ratio"],
+        "cluster_repl_speedup_r3": report["cluster"]["repl_speedup_r3"],
+        "cluster_heal_speedup": report["cluster"]["heal"]["speedup"],
     }
     return report
 
@@ -1053,6 +1250,19 @@ def render_summary(report: Dict[str, object]) -> str:
             f"({lt['stw_over_scoped_p99_ratio']:.1f}x, "
             f"{lt['quarantine']['quarantine']['stream_keys']} keys "
             f"quarantined, digests identical)"
+        )
+    cl = report.get("cluster")
+    if cl is not None:
+        r3_delta = cl["throughput"]["delta_r3"]
+        r3_reexec = cl["throughput"]["reexec_r3"]
+        lines.append(
+            f"  cluster:   R=3 delta {r3_delta['ops_per_second']:,.0f} "
+            f"ops/s vs reexec {r3_reexec['ops_per_second']:,.0f} ops/s "
+            f"(replication path {cl['repl_speedup_r3']:.1f}x, end-to-end "
+            f"{cl['client_speedup_r3']:.2f}x); heal compacted "
+            f"{cl['heal']['compacted_s']:.3f}s vs full replay "
+            f"{cl['heal']['full_replay_s']:.3f}s "
+            f"({cl['heal']['speedup']:.1f}x, digests identical)"
         )
     mx = report.get("matrix")
     if mx is not None:

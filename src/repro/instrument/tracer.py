@@ -38,6 +38,41 @@ class PMTrace:
             self._guids_by_addr.setdefault(addr, set()).add(guid)
         self._buffer.clear()
 
+    def extend(self, pairs: List[Tuple[str, int]]) -> None:
+        """Append already-durable records in bulk, keeping indexes hot.
+
+        Used when a shipped :class:`ReplicaDelta` installs the primary's
+        trace slice on a replica — the records were flushed on the
+        primary, so they land directly in the durable trace here.  This
+        runs once per (delta, mirror): bulk-append and locally-bound
+        index updates, not the per-record ``record``/``flush`` path.
+        """
+        self.records.extend(pairs)
+        by_guid = self._addrs_by_guid
+        by_addr = self._guids_by_addr
+        for guid, addr in pairs:
+            addrs = by_guid.get(guid)
+            if addrs is None:
+                addrs = by_guid[guid] = set()
+            addrs.add(addr)
+            guids = by_addr.get(addr)
+            if guids is None:
+                guids = by_addr[addr] = set()
+            guids.add(guid)
+
+    def load(self, records: List[Tuple[str, int]]) -> None:
+        """Replace the durable trace wholesale (node rebase).
+
+        Drops the buffer and both indexes, then re-installs ``records``
+        as the flushed stream — the trace-level analogue of
+        :meth:`PMPool.load_durable`.
+        """
+        self.records = []
+        self._buffer = []
+        self._addrs_by_guid = {}
+        self._guids_by_addr = {}
+        self.extend(records)
+
     def crash(self) -> None:
         """Drop un-flushed records, as a real crash would."""
         self._buffer.clear()

@@ -30,6 +30,11 @@ AllocHook = Callable[[int, int], None]  # (addr, nwords)
 FreeHook = Callable[[int, int], None]  # (addr, nwords)
 ReallocHook = Callable[[int, int, int], None]  # (old_addr, new_addr, nwords)
 
+#: Op-tap payloads: ("alloc", addr, nwords, site), ("free", addr) or
+#: ("realloc", old_addr, new_addr, nwords) — a replayable record of one
+#: metadata mutation, consumed by the cluster's delta-capture machinery.
+OpTap = Callable[[tuple], None]
+
 
 class PMAllocator:
     """First-fit free-list allocator over a persistent pool."""
@@ -51,6 +56,12 @@ class PMAllocator:
         #: realloc/import_meta); lets delta snapshots capture the
         #: pre-mutation metadata lazily instead of copying it eagerly
         self._pre_mutate_hooks: List[Callable[[], None]] = []
+        #: fired with a replayable op tuple after alloc/free/realloc —
+        #: the metadata half of a :class:`ReplicaDelta` (see
+        #: :mod:`repro.distributed.cluster`).  Recovery-side mutations
+        #: (``unfree``, ``import_meta``, ``replay_*``) do not tap: they
+        #: are not part of a replicated guest op.
+        self._op_taps: List[OpTap] = []
 
     # ------------------------------------------------------------------
     # hooks
@@ -75,10 +86,23 @@ class PMAllocator:
         """Unregister a previously added pre-mutation callback."""
         self._pre_mutate_hooks.remove(hook)
 
+    def add_op_tap(self, tap: OpTap) -> None:
+        """Register a callback receiving replayable metadata-op tuples."""
+        self._op_taps.append(tap)
+
+    def remove_op_tap(self, tap: OpTap) -> None:
+        """Unregister a previously added op tap."""
+        self._op_taps.remove(tap)
+
     def _notify_mutate(self) -> None:
         if self._pre_mutate_hooks:
             for hook in list(self._pre_mutate_hooks):
                 hook()
+
+    def _tap(self, op: tuple) -> None:
+        if self._op_taps:
+            for tap in self._op_taps:
+                tap(op)
 
     # ------------------------------------------------------------------
     # allocation
@@ -106,6 +130,7 @@ class PMAllocator:
                 for a in range(start, start + nwords):
                     self.pool.durable_write(a, 0)
                 self.pool.discard_cached(start, nwords)
+                self._tap(("alloc", start, nwords, site))
                 for hook in self._alloc_hooks:
                     hook(start, nwords)
                 return start
@@ -122,6 +147,7 @@ class PMAllocator:
             raise AllocationError(f"free of unallocated address {addr:#x}")
         self._sites.pop(addr, None)
         self._insert_free(addr, nwords)
+        self._tap(("free", addr))
         for hook in self._free_hooks:
             hook(addr, nwords)
 
@@ -140,6 +166,7 @@ class PMAllocator:
         for i in range(copy_n):
             self.pool.durable_write(new_addr + i, self.pool.read(addr + i))
         self.free(addr)
+        self._tap(("realloc", addr, new_addr, nwords))
         for hook in self._realloc_hooks:
             hook(addr, new_addr, nwords)
         return new_addr
@@ -177,6 +204,31 @@ class PMAllocator:
         raise AllocationError(
             f"cannot unfree [{addr:#x}, +{nwords}): range not entirely free"
         )
+
+    # ------------------------------------------------------------------
+    # delta replay (physical replication)
+    # ------------------------------------------------------------------
+    def replay_alloc(self, addr: int, nwords: int,
+                     site: Optional[str] = None) -> None:
+        """Re-apply a primary's allocation at its exact address.
+
+        No first-fit search: the replica's free list must cover the
+        range (guaranteed when primary and replica histories are
+        aligned, which the delta engine maintains).  No zero-fill and no
+        hooks — the word delta carries the zeroing and the checkpoint
+        records arrive in the shipped record batch.  Idempotent: a
+        same-size live block at ``addr`` is a completed re-apply.
+        """
+        self.unfree(addr, nwords, site=site)
+
+    def replay_free(self, addr: int) -> None:
+        """Re-apply a primary's free; hook-free and idempotent."""
+        self._notify_mutate()
+        nwords = self._allocations.pop(addr, None)
+        if nwords is None:
+            return  # already freed (crash-retried re-apply)
+        self._sites.pop(addr, None)
+        self._insert_free(addr, nwords)
 
     def _insert_free(self, addr: int, nwords: int) -> None:
         """Insert an extent into the free list, coalescing neighbours."""

@@ -191,7 +191,15 @@ class PMPool:
                 if addr in self._cache:
                     if epochs:
                         self._note_dirty(addr)
-                    self._durable[addr] = self._cache.pop(addr)
+                    value = self._cache.pop(addr)
+                    # canonical sparse image: zero means entry absent,
+                    # matching durable_write — so a physically
+                    # replicated pool is byte-comparable to an
+                    # executed one
+                    if value == 0:
+                        self._durable.pop(addr, None)
+                    else:
+                        self._durable[addr] = value
                     self.stats["persisted_words"] += 1
         self._staged_lines.clear()
         pending, self._pending_ranges = self._pending_ranges, []
@@ -222,7 +230,11 @@ class PMPool:
                 if addr in self._cache:
                     if self._epoch_preimages:
                         self._note_dirty(addr)
-                    self._durable[addr] = self._cache.pop(addr)
+                    value = self._cache.pop(addr)
+                    if value == 0:
+                        self._durable.pop(addr, None)
+                    else:
+                        self._durable[addr] = value
                     self.stats["persisted_words"] += 1
         raise InjectedCrash(
             f"torn fence: {keep} of {len(lines)} staged line(s) persisted",
@@ -269,6 +281,35 @@ class PMPool:
             self._durable.pop(addr, None)
         else:
             self._durable[addr] = value
+
+    def apply_words(self, words: Dict[int, int]) -> None:
+        """Install a captured word delta wholesale (physical replication).
+
+        Equivalent to :meth:`durable_write` per word — shares the
+        0-means-absent convention and epoch dirty tracking — but
+        validates the address range once (the pool's address space is
+        one contiguous run, so checking the extremes covers every word)
+        and skips the per-call machinery: the shipped-delta apply loop
+        is the cluster replication hot path.
+        """
+        if not words:
+            return
+        self._check(min(words))
+        self._check(max(words))
+        durable = self._durable
+        if self._epoch_preimages:
+            for addr, value in words.items():
+                self._note_dirty(addr)
+                if value == 0:
+                    durable.pop(addr, None)
+                else:
+                    durable[addr] = value
+        else:
+            for addr, value in words.items():
+                if value == 0:
+                    durable.pop(addr, None)
+                else:
+                    durable[addr] = value
 
     def discard_cached(self, addr: int, nwords: int = 1) -> None:
         """Drop any buffered (un-persisted) stores in a range.
@@ -375,3 +416,24 @@ class PMPool:
     def close_epoch(self, token: int) -> None:
         """Stop tracking an epoch without restoring (keep current state)."""
         self._epoch_preimages.pop(token, None)
+
+    def capture_epoch_delta(self, token: int) -> Dict[int, int]:
+        """Close an epoch and return its word delta as ``addr -> post``.
+
+        The delta maps every durable word mutated since the epoch opened
+        to its *current* durable value (0 for words whose entry was
+        removed).  Writing those post-values into another pool holding
+        the epoch's pre-state — via :meth:`durable_write`, which shares
+        the 0-means-absent convention — reproduces this pool's durable
+        image exactly.  This is the physical-replication capture: the
+        replica gets the delta, not the computation.
+        """
+        if token not in self._epoch_preimages:
+            raise PoolError(f"unknown or closed epoch {token}")
+        durable = self._durable
+        delta = {
+            addr: durable.get(addr, 0)
+            for addr in self._epoch_preimages[token]
+        }
+        self.close_epoch(token)
+        return delta

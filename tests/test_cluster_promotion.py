@@ -16,6 +16,17 @@ from repro.harness.experiment import ExperimentContext, MitigationRun
 from repro.reactor.server import WorkerGate
 from repro.systems.common import ABSENT
 
+_ClusterImpl = Cluster
+
+
+def Cluster(*args, **kwargs):  # noqa: N802 — drop-in for the class
+    """These tests assert re-execution resync counts (resync_replayed
+    equals the node's oplog share), so they pin the oracle engine; the
+    delta engine's rebase-based heal is covered by
+    test_delta_replication.py."""
+    kwargs.setdefault("replication_engine", "reexec")
+    return _ClusterImpl(*args, **kwargs)
+
 
 def _wedged_cluster(seed=0, n_nodes=3, replication=2, warm=40):
     """A cluster with node 0 wedged by the memcached f1 refcount bug,

@@ -1,0 +1,279 @@
+"""Delta-replication engine tests: physical shipping vs re-execution.
+
+The delta engine must be *observationally identical* to the logical
+re-execution oracle — byte-identical per-node pool digests, equal
+structural digests, equal oracles — while never re-executing the guest
+on a mirror.  These tests pin that equivalence across guest systems,
+group-commit batch sizes, injected crashes at the two new sites
+(``cluster.ship_delta``, ``cluster.compact``), and the compaction
+round-trip through ``rebuild_node`` + ``rebase_node``.
+"""
+
+import random
+
+import pytest
+
+from repro import faultinject
+from repro.distributed.cluster import Cluster, ClusterClient
+from repro.errors import InjectedCrash
+from repro.faultinject import InjectionPlan, InjectionSpec
+from repro.faults.registry import scenario_by_id
+from repro.harness.supervisor import pool_digest
+
+#: one fault id per guest system — the scenario is never triggered,
+#: only its adapter class is borrowed for a fault-free workload
+SYSTEM_FIDS = ("f1", "f9", "f20", "f21", "f23")
+
+N_NODES = 3
+N_OPS = 90
+
+
+def _run_workload(
+    engine: str,
+    adapter_cls,
+    n_ops: int = N_OPS,
+    replication: int = N_NODES,
+    batch: int = 8,
+    seed: int = 5,
+) -> Cluster:
+    """One deterministic mixed workload through a fresh cluster."""
+    cluster = Cluster(
+        n_nodes=N_NODES, n_clients=2, adapter_cls=adapter_cls, seed=seed,
+        replication=replication, replication_engine=engine,
+        replication_batch=batch,
+    )
+    clients = [ClusterClient(cluster, i) for i in range(2)]
+    rng = random.Random(seed)
+    keyspace = max(16, n_ops // 2)
+    for i in range(n_ops):
+        key = rng.randrange(keyspace)
+        roll = rng.random()
+        if roll < 0.55:
+            clients[i % 2].insert(key, 700 + i)
+        elif roll < 0.75:
+            clients[i % 2].lookup(key)
+        elif roll < 0.90:
+            clients[1].derived_insert(key, key + keyspace)
+        else:
+            clients[0].delete(key)
+    cluster.drain()
+    return cluster
+
+
+def _digests(cluster: Cluster):
+    """Per-node (pool digest, structural digest) after a full drain."""
+    cluster.drain()
+    return [
+        (pool_digest(node.pool, node.allocator),
+         node.ckpt.log.structural_digest())
+        for node in cluster.nodes
+    ]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("fid", SYSTEM_FIDS)
+    def test_delta_matches_reexec_per_node(self, fid):
+        adapter_cls = scenario_by_id(fid).adapter_cls()
+        reexec = _run_workload("reexec", adapter_cls)
+        delta = _run_workload("delta", adapter_cls)
+        assert _digests(delta) == _digests(reexec)
+        assert delta.oracles == reexec.oracles
+
+    def test_spans_cover_all_mirrors(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        delta = _run_workload("delta", adapter_cls)
+        mutations = [op for op in delta.oplog]
+        assert mutations
+        for op in mutations:
+            assert set(op.spans) == set(range(N_NODES))
+
+    def test_batched_equals_unbatched(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        batched = _run_workload("delta", adapter_cls, batch=8)
+        unbatched = _run_workload("delta", adapter_cls, batch=1)
+        assert _digests(batched) == _digests(unbatched)
+        assert batched.oracles == unbatched.oracles
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(replication_engine="paxos")
+
+
+class TestCrashAtShipDelta:
+    def test_crash_then_retry_converges(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        control = _run_workload("delta", adapter_cls, batch=1)
+
+        cluster = Cluster(
+            n_nodes=N_NODES, n_clients=2, adapter_cls=adapter_cls, seed=5,
+            replication=N_NODES, replication_engine="delta",
+            replication_batch=1,
+        )
+        clients = [ClusterClient(cluster, i) for i in range(2)]
+        rng = random.Random(5)
+        keyspace = max(16, N_OPS // 2)
+        plan = InjectionPlan([InjectionSpec("cluster.ship_delta", 4)])
+        crashes = 0
+        with faultinject.activate(plan):
+            for i in range(N_OPS):
+                key = rng.randrange(keyspace)
+                roll = rng.random()
+                try:
+                    if roll < 0.55:
+                        clients[i % 2].insert(key, 700 + i)
+                    elif roll < 0.75:
+                        clients[i % 2].lookup(key)
+                    elif roll < 0.90:
+                        clients[1].derived_insert(key, key + keyspace)
+                    else:
+                        clients[0].delete(key)
+                except InjectedCrash:
+                    # the crashed shipping round left the mirror's
+                    # pointer unadvanced; a retried drain re-applies
+                    # idempotently and the client op is re-issued
+                    crashes += 1
+                    cluster.drain()
+                    if roll < 0.55:
+                        clients[i % 2].insert(key, 700 + i)
+                    elif roll < 0.75:
+                        clients[i % 2].lookup(key)
+                    elif roll < 0.90:
+                        clients[1].derived_insert(key, key + keyspace)
+                    else:
+                        clients[0].delete(key)
+            cluster.drain()
+        assert plan.all_fired
+        assert crashes == 1
+        assert _digests(cluster) == _digests(control)
+        assert cluster.oracles == control.oracles
+
+    def test_pointers_unadvanced_by_crashed_round(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        cluster = Cluster(
+            n_nodes=N_NODES, n_clients=1, adapter_cls=adapter_cls, seed=5,
+            replication=N_NODES, replication_engine="delta",
+            replication_batch=64,  # nothing drains until we say so
+        )
+        client = ClusterClient(cluster, 0)
+        for key in range(6):
+            client.insert(key, 900 + key)
+        lagging = [
+            nid for nid in range(N_NODES)
+            if cluster._applied[nid] < cluster._log_pos
+        ]
+        assert lagging
+        victim = lagging[0]
+        before = cluster._applied[victim]
+        plan = InjectionPlan([InjectionSpec("cluster.ship_delta", 1)])
+        with faultinject.activate(plan):
+            with pytest.raises(InjectedCrash):
+                cluster.drain(victim)
+        assert cluster._applied[victim] == before
+        # the clean retry applies the same deltas exactly once
+        applied = cluster.drain(victim)
+        assert applied == cluster._log_pos - before
+        assert cluster._applied[victim] == cluster._log_pos
+
+
+class TestCrashAtCompact:
+    def test_crash_then_retry_converges(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        cluster = _run_workload("delta", adapter_cls)
+        control = _run_workload("delta", adapter_cls)
+        n_deltas = len(cluster._delta_log)
+        assert n_deltas
+
+        plan = InjectionPlan([InjectionSpec("cluster.compact", 1)])
+        with faultinject.activate(plan):
+            with pytest.raises(InjectedCrash):
+                cluster.compact()
+        # the crash hit after capture but before truncation: nothing
+        # moved, and the retry folds the same prefix
+        assert cluster._horizon == 0
+        assert len(cluster._delta_log) == n_deltas
+        folded = cluster.compact()
+        assert folded == n_deltas
+        assert cluster._horizon == cluster._log_pos
+        assert not cluster._delta_log
+        assert _digests(cluster) == _digests(control)
+
+    def test_compact_is_noop_under_reexec(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        cluster = _run_workload("reexec", adapter_cls)
+        assert cluster.compact() == 0
+
+
+class TestCompactionRoundTrip:
+    def test_rebuild_then_rebase_from_compacted_base(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        cluster = _run_workload("delta", adapter_cls)
+        folded = cluster.compact()
+        assert folded
+        n_ops = len(cluster.oplog)
+
+        cluster.rebuild_node(1)
+        assert 1 in cluster._needs_rebase
+        credited, reverted = cluster.rebase_node(1)
+        assert credited == n_ops
+        assert reverted == 0
+        assert 1 not in cluster._needs_rebase
+        digests = _digests(cluster)
+        assert digests[1] == digests[0]
+        assert cluster.oracles[1] == cluster.oracles[0]
+
+    def test_rebase_installs_tail_past_horizon(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        cluster = _run_workload("delta", adapter_cls, n_ops=40)
+        cluster.compact()
+        # grow a post-compaction tail, then heal through base + tail
+        client = ClusterClient(cluster, 0)
+        for key in range(200, 212):
+            client.insert(key, 30 + key)
+        cluster.drain()
+        cluster.rebuild_node(2)
+        credited, _ = cluster.rebase_node(2)
+        assert credited == len(cluster.oplog)
+        digests = _digests(cluster)
+        assert digests[2] == digests[0]
+
+    def test_replay_missed_refuses_delta_engine(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        cluster = _run_workload("delta", adapter_cls, n_ops=10)
+        with pytest.raises(RuntimeError):
+            cluster.replay_missed(0)
+
+
+class TestReexecApplyAtomicity:
+    def test_partial_failure_still_logs_applied_spans(self):
+        adapter_cls = scenario_by_id("f1").adapter_cls()
+        cluster = Cluster(
+            n_nodes=N_NODES, n_clients=1, adapter_cls=adapter_cls, seed=5,
+            replication=N_NODES, replication_engine="reexec",
+        )
+        client = ClusterClient(cluster, 0)
+        client.insert(1, 11)
+        oplog_before = len(cluster.oplog)
+
+        # make the op fail on its *second* replica: the first replica's
+        # apply is durable, so damage assessment must still see the op
+        members = cluster.ring.replica_set(2, cluster.replication)
+        second = members[1]
+        original = cluster.nodes[second].insert
+        calls = {"n": 0}
+
+        def exploding(key, value):
+            calls["n"] += 1
+            raise RuntimeError("replica apply torn")
+
+        cluster.nodes[second].insert = exploding
+        try:
+            with pytest.raises(RuntimeError):
+                client.insert(2, 22)
+        finally:
+            cluster.nodes[second].insert = original
+        assert calls["n"] == 1
+        assert len(cluster.oplog) == oplog_before + 1
+        op = cluster.oplog[-1]
+        assert op.key == 2
+        assert members[0] in op.spans
+        assert second not in op.spans

@@ -14,6 +14,17 @@ from repro.distributed.cluster import (
 from repro.distributed.recovery import DistributedReactor
 from repro.systems.common import ABSENT
 
+_ClusterImpl = Cluster
+
+
+def Cluster(*args, **kwargs):  # noqa: N802 — drop-in for the class
+    """These tests encode the re-execution engine's replica-subset
+    semantics (an op's spans cover exactly its routing replica set), so
+    they pin the oracle engine; the delta engine's full-mirror span
+    behaviour is covered by test_delta_replication.py."""
+    kwargs.setdefault("replication_engine", "reexec")
+    return _ClusterImpl(*args, **kwargs)
+
 
 class TestVectorClocks:
     def test_ordering(self):
